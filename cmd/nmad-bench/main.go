@@ -1,0 +1,61 @@
+// Command nmad-bench regenerates the figures and tables of the paper's
+// evaluation section (§5) plus the ablations listed in DESIGN.md.
+//
+// Usage:
+//
+//	nmad-bench -fig 2a            # one figure, aligned table on stdout
+//	nmad-bench -fig all           # everything (takes a minute)
+//	nmad-bench -fig 4a -format csv
+//	nmad-bench -list
+//
+// Figure ids: 2a 2b 2c 2d (raw ping-pong), 5.1 (overhead summary),
+// 3a 3b 3c 3d (multi-segment ping-pong), 4a 4b (indexed datatype),
+// ablation-strategies ablation-multirail ablation-overhead ablation-rdv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nmad/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure id to regenerate, or 'all'")
+	format := flag.String("format", "table", "output format: table or csv")
+	list := flag.Bool("list", false, "list figure ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = bench.FigureIDs()
+	}
+	for _, id := range ids {
+		result, err := bench.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmad-bench: %v\n", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "table":
+			fmt.Println(bench.FormatTable(result))
+		case "csv":
+			fmt.Printf("# figure %s: %s\n%s\n", result.ID, result.Title, bench.FormatCSV(result))
+		default:
+			fmt.Fprintf(os.Stderr, "nmad-bench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

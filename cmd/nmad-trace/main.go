@@ -1,0 +1,108 @@
+// Command nmad-trace runs a small multi-flow workload with engine
+// tracing enabled and dumps the sender's scheduling timeline — the
+// optimization window at work: submissions accumulating while the NIC is
+// busy, multi-wrapper elections, rendezvous conversions and piggybacked
+// control.
+//
+// Usage:
+//
+//	nmad-trace                  # timeline on stdout
+//	nmad-trace -chrome out.json # chrome://tracing / Perfetto export
+//	nmad-trace -strategy default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+func main() {
+	strategy := flag.String("strategy", "aggreg", "engine strategy (default|aggreg|split|prio)")
+	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file instead of a text timeline")
+	flag.Parse()
+
+	rec := trace.NewRecorder()
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.Strategy = *strategy
+	opts.Tracer = rec
+	sender, err := core.New(f, 0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sender.AttachFabric(f); err != nil {
+		log.Fatal(err)
+	}
+	recvOpts := core.DefaultOptions()
+	recvOpts.Strategy = *strategy
+	receiver, err := core.New(f, 1, recvOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := receiver.AttachFabric(f); err != nil {
+		log.Fatal(err)
+	}
+
+	// The workload: a burst of small sends on distinct flows plus one
+	// large send (rendezvous), the §5.2/§5.3 patterns in miniature.
+	w.Spawn("sender", func(p *sim.Proc) {
+		g := sender.Gate(1)
+		for i := 0; i < 6; i++ {
+			g.Isend(p, core.Tag(i), make([]byte, 128))
+		}
+		g.Isend(p, 100, make([]byte, 256<<10))
+		for i := 6; i < 10; i++ {
+			g.Isend(p, core.Tag(i), make([]byte, 128))
+		}
+	})
+	w.Spawn("receiver", func(p *sim.Proc) {
+		g := receiver.Gate(0)
+		var reqs []*core.RecvRequest
+		for i := 0; i < 10; i++ {
+			reqs = append(reqs, g.Irecv(p, core.Tag(i), make([]byte, 128)))
+		}
+		reqs = append(reqs, g.Irecv(p, 100, make([]byte, 256<<10)))
+		for _, r := range reqs {
+			if err := r.Wait(p); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	if *chrome != "" {
+		out, err := os.Create(*chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		if err := rec.WriteChrome(out); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d events to %s\n", rec.Total(), *chrome)
+		return
+	}
+	fmt.Printf("sender timeline, strategy=%s (10 small sends + one 256KB rendezvous):\n\n", *strategy)
+	if err := rec.Dump(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(rec.Summary())
+	st := sender.Stats()
+	fmt.Printf("engine: %d wrappers in %d packets (ratio %.2f), %d rendezvous, %d control piggybacks\n",
+		st.EntriesSent, st.OutputPackets, st.AggregationRatio(), st.RdvCompleted, st.CtrlPiggybacked)
+}

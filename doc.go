@@ -1,0 +1,56 @@
+// Package nmad is a Go reproduction of NewMadeleine, the communication
+// scheduling engine for high-performance networks of Aumage, Brunet,
+// Furmento and Namyst (INRIA RR-6085, 2006 / IPPS 2007).
+//
+// # What it is
+//
+// NewMadeleine decouples communication-request processing from the
+// application workflow and ties it to NIC activity instead: requests
+// accumulate in an optimization window while the NICs are busy, and each
+// time a NIC becomes idle a pluggable strategy synthesizes the next
+// ready-to-send packet — aggregating small requests across logical flows
+// (even across MPI communicators), reordering them, turning large ones
+// into rendezvous transactions, and splitting bodies over multiple
+// heterogeneous rails.
+//
+// Since real Myri-10G/Quadrics NICs cannot be driven from a Go
+// user-level process, the hardware is substituted by a deterministic
+// discrete-event network simulator with LogGP-style cost models
+// calibrated against the paper's 2006 Opteron testbed. All latency and
+// bandwidth figures are read off the virtual clock; see DESIGN.md for
+// the substitution argument and EXPERIMENTS.md for paper-vs-measured
+// numbers of every figure.
+//
+// # Layout
+//
+//   - package nmad (this package): a thin facade — Cluster assembly plus
+//     re-exports of the engine, MAD-MPI and profile types.
+//   - internal/sim: the discrete-event kernel (virtual clock, cooperative
+//     processes, condition variables).
+//   - internal/simnet: NIC/wire/host cost models and the five network
+//     profiles (MX/Myri-10G, QsNetII, GM/Myrinet-2000, SISCI/SCI, TCP).
+//   - internal/drivers: the transfer layer — one minimal driver per
+//     network, with capability reports.
+//   - internal/core: the engine — collect layer, optimization window,
+//     strategies (default/aggreg/split/prio), rendezvous protocol,
+//     resequencing receive path, pack/unpack and sendrecv interfaces.
+//   - internal/madmpi: MAD-MPI — communicators, point-to-point,
+//     derived datatypes, a few collectives.
+//   - internal/baseline: MPICH-like and OpenMPI-like comparators.
+//   - internal/bench: the harness regenerating every evaluation figure.
+//
+// # Quick start
+//
+//	cl, _ := nmad.NewCluster(2, nmad.MX10G())
+//	e0, _ := cl.Engine(0, nmad.DefaultOptions())
+//	e1, _ := cl.Engine(1, nmad.DefaultOptions())
+//	cl.Spawn("sender", func(p *nmad.Proc) {
+//		e0.Gate(1).Send(p, 7, []byte("hello"))
+//	})
+//	cl.Spawn("receiver", func(p *nmad.Proc) {
+//		buf := make([]byte, 64)
+//		n, _ := e1.Gate(0).Recv(p, 7, buf)
+//		fmt.Printf("got %q\n", buf[:n])
+//	})
+//	cl.Run()
+package nmad

@@ -1,0 +1,139 @@
+// Datatypes: the paper's §5.3 experiment as an application. A message
+// described by an MPI indexed datatype — alternating small (64 B) and
+// large (256 KB) blocks — travels two ways:
+//
+//  1. the MAD-MPI way: one engine request per block; the scheduler
+//     aggregates the small blocks with the rendezvous requests of the
+//     large blocks, and the large blocks go zero-copy;
+//  2. the pack way (what MPICH does internally): copy everything into a
+//     contiguous staging buffer, send it, copy it back out on the other
+//     side. Here the application does the packing itself, and the two
+//     extra full-size memory copies show up directly in the transfer
+//     time.
+//
+// Run with: go run ./examples/datatypes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmad"
+)
+
+const (
+	smallBlock = 64
+	largeBlock = 256 << 10
+	gap        = 64 // the blocks are scattered: gaps make the layout non-contiguous
+	pairs      = 4
+	total      = pairs * (smallBlock + largeBlock)
+	extent     = smallBlock + gap + largeBlock + gap // one element's memory span
+	bufLen     = pairs * extent
+)
+
+// paperDatatype builds the Figure 4 layout: a small block, a gap, a large
+// block, and a trailing gap before the next element (MPI_Type_create_resized
+// over an hindexed type).
+func paperDatatype() nmad.Datatype {
+	inner := nmad.Hindexed(
+		[]int{smallBlock, largeBlock},
+		[]int{0, smallBlock + gap},
+		nmad.ByteType,
+	)
+	return nmad.Resized(inner, extent)
+}
+
+func viaDatatype() (nmad.Time, error) {
+	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	if err != nil {
+		return 0, err
+	}
+	m0, err := cl.MPI(0, nmad.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	m1, err := cl.MPI(1, nmad.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	dt := paperDatatype()
+	var done nmad.Time
+	cl.Spawn("rank0", func(p *nmad.Proc) {
+		if err := m0.CommWorld().SendTyped(p, make([]byte, bufLen), dt, pairs, 1, 0); err != nil {
+			log.Fatal(err)
+		}
+	})
+	cl.Spawn("rank1", func(p *nmad.Proc) {
+		if _, err := m1.CommWorld().RecvTyped(p, make([]byte, bufLen), dt, pairs, 0, 0); err != nil {
+			log.Fatal(err)
+		}
+		done = p.Now()
+	})
+	if err := cl.Run(); err != nil {
+		return 0, err
+	}
+	st := m0.Engine().Stats()
+	fmt.Printf("  engine: %d rendezvous bodies zero-copy, %d control entries piggybacked on data packets\n",
+		st.RdvCompleted, st.CtrlPiggybacked)
+	return done, nil
+}
+
+func viaPack() (nmad.Time, error) {
+	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	if err != nil {
+		return 0, err
+	}
+	e0, err := cl.Engine(0, nmad.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	e1, err := cl.Engine(1, nmad.DefaultOptions())
+	if err != nil {
+		return 0, err
+	}
+	// The pack cost is host memcpy time: total bytes at 1.2 GB/s, charged
+	// as compute time on the process (what MPICH's dataloop engine pays).
+	memcpyCost := func(n int) nmad.Time {
+		return nmad.Time(float64(n) / 1.2e9 * 1e9)
+	}
+	var done nmad.Time
+	cl.Spawn("rank0", func(p *nmad.Proc) {
+		p.Sleep(memcpyCost(total)) // pack into the staging buffer
+		if err := e0.Gate(1).Send(p, 1, make([]byte, total)); err != nil {
+			log.Fatal(err)
+		}
+	})
+	cl.Spawn("rank1", func(p *nmad.Proc) {
+		if _, err := e1.Gate(0).Recv(p, 1, make([]byte, total)); err != nil {
+			log.Fatal(err)
+		}
+		p.Sleep(memcpyCost(total)) // unpack to the final destination
+		done = p.Now()
+	})
+	if err := cl.Run(); err != nil {
+		return 0, err
+	}
+	return done, nil
+}
+
+func main() {
+	fmt.Printf("indexed datatype: %d x (%dB + %dKB) = %d KB total, over MX/Myri-10G\n\n",
+		pairs, smallBlock, largeBlock>>10, total>>10)
+
+	fmt.Println("MAD-MPI per-block requests (engine optimizes):")
+	madTime, err := viaDatatype()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  transfer time: %v\n\n", madTime)
+
+	fmt.Println("pack / send / unpack (the MPICH approach):")
+	packTime, err := viaPack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  transfer time: %v\n\n", packTime)
+
+	fmt.Printf("gain: %.0f%% — the two full-size staging copies are gone (paper §5.3: ~70%%)\n",
+		100*(1-float64(madTime)/float64(packTime)))
+}

@@ -1,0 +1,107 @@
+// RPC: the paper's motivating example for priority scheduling (§2, §3.2).
+// A remote method invocation is one logical message with several
+// dependent fragments: the service id (needed first, so the receiver can
+// prepare the data areas), the argument descriptor, and the bulk
+// arguments. MPI's API cannot express these dependencies; the engine's
+// priority flag can.
+//
+// The program runs the same RPC twice — once with the plain aggregation
+// strategy and once with the priority strategy — and reports when the
+// service id reached the server relative to the bulk. With "prio" the
+// service id overtakes the queued bulk arguments of the previous call, so
+// the server starts preparing earlier.
+//
+// Run with: go run ./examples/rpc
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nmad"
+)
+
+const (
+	tagCall = nmad.Tag(0x100) // service ids
+	tagBulk = nmad.Tag(0x200) // argument payloads
+)
+
+// oneRPC issues a bulk-heavy call followed by a small urgent call and
+// returns the virtual times at which the server saw the service id and
+// finished receiving the bulk.
+func oneRPC(strategy string) (idAt, bulkAt nmad.Time, err error) {
+	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	if err != nil {
+		return 0, 0, err
+	}
+	opts := nmad.DefaultOptions()
+	opts.Strategy = strategy
+	client, err := cl.Engine(0, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	server, err := cl.Engine(1, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	cl.Spawn("client", func(p *nmad.Proc) {
+		g := client.Gate(1)
+		// A previous call's bulk arguments: 16 KB chunks that keep the
+		// NIC busy...
+		for i := 0; i < 6; i++ {
+			g.Isend(p, tagBulk, make([]byte, 16<<10))
+		}
+		// ...then the next call arrives: its service id must not wait
+		// behind all that bulk.
+		g.IsendOpts(p, tagCall, []byte("svc:matrix_multiply"), nmad.SendOptions{
+			Flags:  nmad.FlagPriority,
+			Driver: nmad.AnyDriver,
+		})
+	})
+
+	cl.Spawn("server", func(p *nmad.Proc) {
+		g := server.Gate(0)
+		idReq := g.Irecv(p, tagCall, make([]byte, 64))
+		bulkReqs := make([]*nmad.RecvRequest, 6)
+		for i := range bulkReqs {
+			bulkReqs[i] = g.Irecv(p, tagBulk, make([]byte, 16<<10))
+		}
+		for {
+			if idAt == 0 && idReq.Test() {
+				idAt = p.Now() // the server can start preparing now
+			}
+			done := true
+			for _, r := range bulkReqs {
+				done = done && r.Test()
+			}
+			if done && idReq.Test() {
+				bulkAt = p.Now()
+				return
+			}
+			p.Sleep(nmad.Time(500)) // poll every 0.5 µs
+		}
+	})
+
+	if err := cl.Run(); err != nil {
+		return 0, 0, err
+	}
+	return idAt, bulkAt, nil
+}
+
+func main() {
+	fmt.Println("RPC fragment scheduling: when does the service id reach the server?")
+	fmt.Println()
+	for _, strategy := range []string{"aggreg", "prio"} {
+		idAt, bulkAt, err := oneRPC(strategy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("strategy %-7s service id at %9v   all bulk at %9v   head start %v\n",
+			strategy, idAt, bulkAt, bulkAt-idAt)
+	}
+	fmt.Println()
+	fmt.Println("with 'prio' the urgent fragment preempts queued bulk wrappers, so the")
+	fmt.Println("server overlaps its preparation with the argument transfer — the RPC")
+	fmt.Println("pattern the paper says plain MPI cannot express.")
+}

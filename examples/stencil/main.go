@@ -1,0 +1,174 @@
+// Stencil: a 2-D heat-diffusion solver (Jacobi iteration) on a ring of
+// MAD-MPI ranks — the classic halo-exchange mini-app. Each rank owns a
+// horizontal band of the grid and exchanges one halo row with each
+// neighbour per iteration using Sendrecv; convergence is checked with
+// Allreduce(max).
+//
+// The point of running it here: halo traffic is many small messages per
+// iteration, the workload class the paper's engine optimizes. The example
+// prints the converged field summary plus the engine's aggregation
+// counters for rank 0.
+//
+// Run with: go run ./examples/stencil
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"nmad"
+)
+
+const (
+	ranks  = 4
+	rows   = 64 // interior rows per rank
+	cols   = 96
+	maxIt  = 500
+	epsTol = 1e-3
+)
+
+// band is one rank's slab: rows+2 x cols, with halo rows 0 and rows+1.
+type band struct {
+	cur, next []float64
+}
+
+func newBand(rank int) *band {
+	b := &band{
+		cur:  make([]float64, (rows+2)*cols),
+		next: make([]float64, (rows+2)*cols),
+	}
+	// Boundary condition: a hot strip on the global top edge.
+	if rank == 0 {
+		for c := cols / 4; c < 3*cols/4; c++ {
+			b.cur[0*cols+c] = 100
+			b.next[0*cols+c] = 100
+		}
+	}
+	return b
+}
+
+func (b *band) at(r, c int) float64 { return b.cur[r*cols+c] }
+
+// step runs one Jacobi sweep over the interior and returns the largest
+// point change.
+func (b *band) step() float64 {
+	maxDelta := 0.0
+	for r := 1; r <= rows; r++ {
+		for c := 1; c < cols-1; c++ {
+			v := 0.25 * (b.at(r-1, c) + b.at(r+1, c) + b.at(r, c-1) + b.at(r, c+1))
+			if d := math.Abs(v - b.at(r, c)); d > maxDelta {
+				maxDelta = d
+			}
+			b.next[r*cols+c] = v
+		}
+	}
+	b.cur, b.next = b.next, b.cur
+	return maxDelta
+}
+
+// rowBytes views one grid row as bytes for transport (the simulation
+// moves bytes; the float64 row is 8*cols of them).
+func rowBytes(grid []float64, r int) []byte {
+	row := grid[r*cols : (r+1)*cols]
+	out := make([]byte, 8*len(row))
+	for i, v := range row {
+		bits := math.Float64bits(v)
+		for k := 0; k < 8; k++ {
+			out[8*i+k] = byte(bits >> (8 * k))
+		}
+	}
+	return out
+}
+
+func setRow(grid []float64, r int, raw []byte) {
+	for i := 0; i < cols; i++ {
+		var bits uint64
+		for k := 0; k < 8; k++ {
+			bits |= uint64(raw[8*i+k]) << (8 * k)
+		}
+		grid[r*cols+i] = math.Float64frombits(bits)
+	}
+}
+
+func main() {
+	cl, err := nmad.NewCluster(ranks, nmad.MX10G())
+	if err != nil {
+		log.Fatal(err)
+	}
+	mpis := make([]*nmad.MPI, ranks)
+	for i := range mpis {
+		if mpis[i], err = cl.MPI(i, nmad.DefaultOptions()); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	results := make([]float64, ranks) // final residual per rank
+	iters := make([]int, ranks)
+
+	for rank := 0; rank < ranks; rank++ {
+		rank := rank
+		m := mpis[rank]
+		cl.Spawn(fmt.Sprintf("rank%d", rank), func(p *nmad.Proc) {
+			c := m.CommWorld()
+			b := newBand(rank)
+			up, down := rank-1, rank+1
+
+			halo := make([]byte, 8*cols)
+			res := 1.0
+			it := 0
+			for ; it < maxIt && res > epsTol; it++ {
+				// Exchange halos with both neighbours. Edge ranks keep
+				// their fixed boundary rows.
+				if up >= 0 {
+					if _, err := c.Sendrecv(p, rowBytes(b.cur, 1), up, 0, halo, up, 1); err != nil {
+						log.Fatal(err)
+					}
+					setRow(b.cur, 0, halo)
+				}
+				if down < ranks {
+					if _, err := c.Sendrecv(p, rowBytes(b.cur, rows), down, 1, halo, down, 0); err != nil {
+						log.Fatal(err)
+					}
+					setRow(b.cur, rows+1, halo)
+				}
+				local := b.step()
+				// Global convergence: the max residual across ranks.
+				global := make([]float64, 1)
+				if err := c.Allreduce(p, []float64{local}, global, nmad.OpMax); err != nil {
+					log.Fatal(err)
+				}
+				res = global[0]
+			}
+			results[rank] = res
+			iters[rank] = it
+		})
+	}
+
+	if err := cl.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("heat diffusion on a %dx%d grid over %d ranks\n", ranks*rows, cols, ranks)
+	if results[0] <= epsTol {
+		fmt.Printf("converged to residual %.4g after %d iterations (virtual time %v)\n",
+			results[0], iters[0], cl.Now())
+	} else {
+		fmt.Printf("stopped at the %d-iteration cap, residual %.4g (virtual time %v)\n",
+			iters[0], results[0], cl.Now())
+	}
+	for r := 1; r < ranks; r++ {
+		if iters[r] != iters[0] {
+			log.Fatalf("rank %d ran %d iterations, rank 0 ran %d: collectives out of sync", r, iters[r], iters[0])
+		}
+	}
+	st := mpis[0].Engine().Stats()
+	fmt.Printf("rank0 engine: %d wrappers in %d physical packets (aggregation ratio %.2f)\n",
+		st.Submitted, st.OutputPackets, st.AggregationRatio())
+	fmt.Printf("halo traffic per iteration: %d messages of %d bytes + 2 reduction rounds\n",
+		2*2*(ranks-1), 8*cols)
+	fmt.Println()
+	fmt.Println("note the ratio of 1.0: a synchronous request-reply pattern never leaves a")
+	fmt.Println("backlog in the window, so there is nothing to aggregate — and per the paper's")
+	fmt.Println("§5.1 the engine then costs only its constant ~0.2µs per message.")
+}

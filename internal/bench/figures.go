@@ -1,0 +1,470 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Point is one measurement: X is the swept parameter (bytes), Y the
+// metric (µs or MB/s).
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one implementation's curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a regenerated paper figure (or table).
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Sizes returns the powers of two in [lo, hi], the paper's sweep grids.
+func Sizes(lo, hi int) []int {
+	var out []int
+	for s := lo; s <= hi; s *= 2 {
+		out = append(out, s)
+	}
+	return out
+}
+
+func mxRails() []simnet.Profile { return []simnet.Profile{simnet.MX10G()} }
+
+func qsRails() []simnet.Profile { return []simnet.Profile{simnet.QsNetII()} }
+
+// sweep measures fn over sizes for each implementation.
+func sweep(impls []Impl, sizes []int, fn func(Impl, int) (float64, error)) ([]Series, error) {
+	var out []Series
+	for _, impl := range impls {
+		s := Series{Label: impl.Name}
+		for _, size := range sizes {
+			y, err := fn(impl, size)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{X: size, Y: y})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// toBandwidth converts latency series (µs) to bandwidth (MB/s): bytes per
+// microsecond equals megabytes per second.
+func toBandwidth(in []Series) []Series {
+	out := make([]Series, len(in))
+	for i, s := range in {
+		out[i] = Series{Label: s.Label}
+		for _, pt := range s.Points {
+			out[i].Points = append(out[i].Points, Point{X: pt.X, Y: float64(pt.X) / pt.Y})
+		}
+	}
+	return out
+}
+
+// The paper's sweep grids.
+var (
+	fig2Sizes   = Sizes(4, 2<<20)
+	fig3SizesMX = Sizes(4, 16<<10)
+	fig3SizesQs = Sizes(4, 8<<10)
+	fig4Sizes   = []int{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+)
+
+// Fig2a: raw ping-pong latency over MX/Myrinet.
+func Fig2a() (Figure, error) {
+	series, err := sweep(
+		[]Impl{MadMPI(core.DefaultOptions()), MPICH(), OpenMPI()},
+		fig2Sizes,
+		func(impl Impl, size int) (float64, error) { return PingPong(impl, mxRails(), size) },
+	)
+	return Figure{
+		ID: "2a", Title: "Raw point-to-point ping-pong — latency over MX/Myri-10G",
+		XLabel: "message size (bytes)", YLabel: "latency (µs)", Series: series,
+		Notes: []string{"paper: MAD-MPI tracks MPICH with a constant < 0.5 µs overhead"},
+	}, err
+}
+
+// Fig2b: raw ping-pong bandwidth over MX/Myrinet.
+func Fig2b() (Figure, error) {
+	fig, err := Fig2a()
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "2b", Title: "Raw point-to-point ping-pong — bandwidth over MX/Myri-10G",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: toBandwidth(fig.Series),
+		Notes:  []string{"paper: MAD-MPI reaches 1155 MB/s over MYRI-10G"},
+	}, nil
+}
+
+// Fig2c: raw ping-pong latency over Elan/Quadrics.
+func Fig2c() (Figure, error) {
+	series, err := sweep(
+		[]Impl{MadMPI(core.DefaultOptions()), MPICH()},
+		fig2Sizes,
+		func(impl Impl, size int) (float64, error) { return PingPong(impl, qsRails(), size) },
+	)
+	return Figure{
+		ID: "2c", Title: "Raw point-to-point ping-pong — latency over Elan/Quadrics",
+		XLabel: "message size (bytes)", YLabel: "latency (µs)", Series: series,
+	}, err
+}
+
+// Fig2d: raw ping-pong bandwidth over Elan/Quadrics.
+func Fig2d() (Figure, error) {
+	fig, err := Fig2c()
+	if err != nil {
+		return Figure{}, err
+	}
+	return Figure{
+		ID: "2d", Title: "Raw point-to-point ping-pong — bandwidth over Elan/Quadrics",
+		XLabel: "message size (bytes)", YLabel: "bandwidth (MB/s)",
+		Series: toBandwidth(fig.Series),
+		Notes:  []string{"paper: MAD-MPI reaches 835 MB/s over QUADRICS"},
+	}, nil
+}
+
+// Tab51 reproduces the §5.1 in-text numbers: the constant software
+// overhead of MAD-MPI vs MPICH at small sizes, and the peak bandwidths.
+func Tab51() (Figure, error) {
+	fig := Figure{
+		ID: "5.1", Title: "§5.1 summary — MAD-MPI overhead and peak bandwidth",
+		XLabel: "-", YLabel: "-",
+	}
+	for _, net := range []struct {
+		name  string
+		rails []simnet.Profile
+	}{
+		{"MX/Myri-10G", mxRails()},
+		{"Elan/Quadrics", qsRails()},
+	} {
+		var overhead float64
+		smalls := []int{4, 8, 16, 32, 64}
+		for _, size := range smalls {
+			mad, err := PingPong(MadMPI(core.DefaultOptions()), net.rails, size)
+			if err != nil {
+				return fig, err
+			}
+			mpich, err := PingPong(MPICH(), net.rails, size)
+			if err != nil {
+				return fig, err
+			}
+			overhead += mad - mpich
+		}
+		overhead /= float64(len(smalls))
+		peakAt := 2 << 20
+		lat, err := PingPong(MadMPI(core.DefaultOptions()), net.rails, peakAt)
+		if err != nil {
+			return fig, err
+		}
+		peak := float64(peakAt) / lat
+		fig.Notes = append(fig.Notes,
+			fmt.Sprintf("%s: MAD-MPI constant overhead vs MPICH = %.2f µs (paper: < 0.5 µs); peak bandwidth = %.0f MB/s",
+				net.name, overhead, peak))
+	}
+	return fig, nil
+}
+
+// Fig3a: 8-segment ping-pong latency over MX.
+func Fig3a() (Figure, error) { return fig3("3a", mxRails(), fig3SizesMX, 8, true) }
+
+// Fig3b: 16-segment ping-pong latency over MX.
+func Fig3b() (Figure, error) { return fig3("3b", mxRails(), fig3SizesMX, 16, true) }
+
+// Fig3c: 8-segment ping-pong latency over Quadrics.
+func Fig3c() (Figure, error) { return fig3("3c", qsRails(), fig3SizesQs, 8, false) }
+
+// Fig3d: 16-segment ping-pong latency over Quadrics.
+func Fig3d() (Figure, error) { return fig3("3d", qsRails(), fig3SizesQs, 16, false) }
+
+func fig3(id string, rails []simnet.Profile, sizes []int, nsegs int, withOpenMPI bool) (Figure, error) {
+	impls := []Impl{MadMPI(core.DefaultOptions()), MPICH()}
+	if withOpenMPI {
+		impls = append(impls, OpenMPI())
+	}
+	series, err := sweep(impls, sizes, func(impl Impl, size int) (float64, error) {
+		return MultiSegPingPong(impl, rails, size, nsegs)
+	})
+	net := rails[0].Name
+	return Figure{
+		ID: id, Title: fmt.Sprintf("%d-segment ping-pong — latency over %s (one communicator per segment)", nsegs, net),
+		XLabel: "per-segment size (bytes)", YLabel: "latency (µs)", Series: series,
+		Notes: []string{"paper: MAD-MPI up to 70% faster over MX, up to 50% over Quadrics"},
+	}, err
+}
+
+// Fig4a: indexed datatype transfer time over MX.
+func Fig4a() (Figure, error) { return fig4("4a", mxRails(), true) }
+
+// Fig4b: indexed datatype transfer time over Quadrics.
+func Fig4b() (Figure, error) { return fig4("4b", qsRails(), false) }
+
+func fig4(id string, rails []simnet.Profile, withOpenMPI bool) (Figure, error) {
+	impls := []Impl{MadMPI(core.DefaultOptions()), MPICH()}
+	if withOpenMPI {
+		impls = append(impls, OpenMPI())
+	}
+	series, err := sweep(impls, fig4Sizes, func(impl Impl, size int) (float64, error) {
+		return DatatypePingPong(impl, rails, size)
+	})
+	return Figure{
+		ID: id, Title: fmt.Sprintf("Indexed datatype (64B + 256KB blocks) — transfer time over %s", rails[0].Name),
+		XLabel: "total message size (bytes)", YLabel: "transfer time (µs)", Series: series,
+		Notes: []string{"paper: ~70% gain vs MPICH, ~50% vs OpenMPI over MX; up to ~70% vs MPICH over Quadrics"},
+	}, err
+}
+
+// AblationStrategies compares the engine's strategies on the Figure 3
+// workload: the value of the optimization window itself.
+func AblationStrategies() (Figure, error) {
+	mk := func(name string) core.Options {
+		o := core.DefaultOptions()
+		o.Strategy = name
+		return o
+	}
+	impls := []Impl{
+		MadMPI(mk("aggreg")),
+		MadMPI(mk("default")),
+		MadMPI(mk("prio")),
+		MPICH(),
+	}
+	series, err := sweep(impls, Sizes(4, 4<<10), func(impl Impl, size int) (float64, error) {
+		return MultiSegPingPong(impl, mxRails(), size, 16)
+	})
+	return Figure{
+		ID: "ablation-strategies", Title: "Ablation — strategy choice on the 16-segment workload (MX)",
+		XLabel: "per-segment size (bytes)", YLabel: "latency (µs)", Series: series,
+		Notes: []string{"default = FIFO without aggregation: the engine without its window"},
+	}, err
+}
+
+// AblationMultirail measures heterogeneous multi-rail splitting: one
+// large body over MX alone vs MX+Quadrics with the split strategy.
+func AblationMultirail() (Figure, error) {
+	split := core.DefaultOptions()
+	split.Strategy = "split"
+	sizes := Sizes(64<<10, 16<<20)
+	oneRail, err := sweep([]Impl{MadMPI(core.DefaultOptions())}, sizes,
+		func(impl Impl, size int) (float64, error) { return PingPong(impl, mxRails(), size) })
+	if err != nil {
+		return Figure{}, err
+	}
+	twoRails, err := sweep([]Impl{MadMPI(split)}, sizes,
+		func(impl Impl, size int) (float64, error) {
+			return PingPong(impl, []simnet.Profile{simnet.MX10G(), simnet.QsNetII()}, size)
+		})
+	if err != nil {
+		return Figure{}, err
+	}
+	oneRail[0].Label = "MadMPI (MX only)"
+	twoRails[0].Label = "MadMPI[split] (MX + Quadrics)"
+	return Figure{
+		ID: "ablation-multirail", Title: "Ablation — multi-rail body splitting (paper §7 future work)",
+		XLabel: "message size (bytes)", YLabel: "latency (µs)",
+		Series: append(oneRail, twoRails...),
+		Notes:  []string{"bandwidth-proportional heterogeneous splitting across 1250+900 MB/s rails"},
+	}, nil
+}
+
+// AblationOverhead decomposes the §5.1 constant overhead into its two
+// software components by zeroing them in turn.
+func AblationOverhead() (Figure, error) {
+	mk := func(submit, sched sim.Time) core.Options {
+		o := core.DefaultOptions()
+		o.SubmitOverhead = submit
+		o.ScheduleOverhead = sched
+		return o
+	}
+	full := core.DefaultOptions()
+	impls := []Impl{
+		MadMPI(full),
+		{Name: "MadMPI[no-submit]", Make: MadMPI(mk(0, full.ScheduleOverhead)).Make},
+		{Name: "MadMPI[no-sched]", Make: MadMPI(mk(full.SubmitOverhead, 0)).Make},
+		{Name: "MadMPI[zero-overhead]", Make: MadMPI(mk(0, 0)).Make},
+		MPICH(),
+	}
+	series, err := sweep(impls, []int{4, 64, 1024}, func(impl Impl, size int) (float64, error) {
+		return PingPong(impl, mxRails(), size)
+	})
+	return Figure{
+		ID: "ablation-overhead", Title: "Ablation — decomposing the MAD-MPI critical-path overhead (MX, small messages)",
+		XLabel: "message size (bytes)", YLabel: "latency (µs)", Series: series,
+		Notes: []string{"submit = collect-layer wrapping; sched = ready-list inspection per output packet (§5.1)"},
+	}, err
+}
+
+// AblationRdvThreshold sweeps the aggregation cap / rendezvous switch.
+func AblationRdvThreshold() (Figure, error) {
+	var impls []Impl
+	for _, thr := range []int{8 << 10, 32 << 10, 128 << 10} {
+		thr := thr
+		impls = append(impls, Impl{
+			Name: fmt.Sprintf("MadMPI[rdv=%dK]", thr>>10),
+			Make: func(f *simnet.Fabric) (Peer, Peer, error) {
+				return MadMPI(core.DefaultOptions()).Make(f)
+			},
+		})
+	}
+	// The threshold lives in the profile; sweep by building custom rails.
+	fig := Figure{
+		ID: "ablation-rdv", Title: "Ablation — rendezvous threshold / aggregation cap (MX, 16KB..256KB)",
+		XLabel: "message size (bytes)", YLabel: "latency (µs)",
+		Notes: []string{"low threshold: early zero-copy but more handshakes; high: longer eager copies"},
+	}
+	for i, thr := range []int{8 << 10, 32 << 10, 128 << 10} {
+		prof := simnet.MX10G()
+		prof.RdvThreshold = thr
+		s := Series{Label: impls[i].Name}
+		for _, size := range Sizes(16<<10, 256<<10) {
+			y, err := PingPong(MadMPI(core.DefaultOptions()), []simnet.Profile{prof}, size)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: size, Y: y})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationModes compares the three scheduling modes of §3.2 on the
+// 16-segment workload: just-in-time (the default), anticipation
+// (pre-built packets) and backlog flush.
+func AblationModes() (Figure, error) {
+	mk := func(name string, mod func(*core.Options)) Impl {
+		opts := core.DefaultOptions()
+		mod(&opts)
+		impl := MadMPI(opts)
+		impl.Name = name
+		return impl
+	}
+	impls := []Impl{
+		mk("just-in-time", func(*core.Options) {}),
+		mk("anticipate", func(o *core.Options) { o.Anticipate = true }),
+		mk("flush-4", func(o *core.Options) { o.FlushBacklog = 4 }),
+		mk("flush-8", func(o *core.Options) { o.FlushBacklog = 8 }),
+	}
+	series, err := sweep(impls, Sizes(4, 4<<10), func(impl Impl, size int) (float64, error) {
+		return MultiSegPingPong(impl, mxRails(), size, 16)
+	})
+	return Figure{
+		ID: "ablation-modes", Title: "Ablation — §3.2 scheduling modes on the 16-segment workload (MX)",
+		XLabel: "per-segment size (bytes)", YLabel: "latency (µs)", Series: series,
+		Notes: []string{
+			"just-in-time elects on NIC-idle; anticipation pre-builds one packet (less aggregation);",
+			"flush-N elects whenever N wrappers queue (bounded trains, earlier first byte)",
+		},
+	}, err
+}
+
+// AblationComposite measures control-message latency inside a bulk
+// stream: the multiplexing scenario of §2. The priority strategy lets the
+// control fragment jump the accumulated bulk.
+func AblationComposite() (Figure, error) {
+	fig := Figure{
+		ID: "ablation-composite", Title: "Ablation — control latency inside a bulk stream (MX, 16 x 16KB bulk)",
+		XLabel: "bulk chunk size (bytes)", YLabel: "control latency (µs)",
+		Notes: []string{"one small control message issued mid-stream; lower is better"},
+	}
+	prioOpts := core.DefaultOptions()
+	prioOpts.Strategy = "prio"
+	cases := []struct {
+		label string
+		impl  Impl
+		prio  bool
+	}{
+		{"MadMPI[prio]+priority-flag", MadMPI(prioOpts), true},
+		{"MadMPI[aggreg]", MadMPI(core.DefaultOptions()), false},
+		{"MPICH", MPICH(), false},
+	}
+	for _, c := range cases {
+		s := Series{Label: c.label}
+		for _, bulk := range []int{4 << 10, 8 << 10, 16 << 10} {
+			lat, err := CompositeControlLatency(c.impl, mxRails(), bulk, 16, c.prio)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: bulk, Y: lat})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// AblationSampling shows the functional-bandwidth sampler at work: a
+// two-rail transfer with the MX rail congested to 30% of nominal. Cold
+// engines plan with nominal figures and overload the congested rail;
+// warmed engines rebalance from samples.
+func AblationSampling() (Figure, error) {
+	fig := Figure{
+		ID: "ablation-sampling", Title: "Ablation — bandwidth sampling under congestion (MX at 30%, split strategy)",
+		XLabel: "message size (bytes)", YLabel: "transfer time (µs)",
+		Notes: []string{"cold = nominal-bandwidth plan; warmed = plan from sampled functional bandwidth"},
+	}
+	for _, c := range []struct {
+		label  string
+		warmup int
+	}{
+		{"cold (nominal plan)", 0},
+		{"warmed (sampled plan)", 4},
+	} {
+		s := Series{Label: c.label}
+		for _, size := range []int{2 << 20, 4 << 20, 8 << 20} {
+			t, err := CongestedTransfer(size, 0.3, c.warmup)
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: size, Y: t})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Registry of everything the harness can regenerate.
+var figureRegistry = map[string]func() (Figure, error){
+	"2a": Fig2a, "2b": Fig2b, "2c": Fig2c, "2d": Fig2d,
+	"5.1": Tab51,
+	"3a":  Fig3a, "3b": Fig3b, "3c": Fig3c, "3d": Fig3d,
+	"4a": Fig4a, "4b": Fig4b,
+	"ablation-strategies": AblationStrategies,
+	"ablation-multirail":  AblationMultirail,
+	"ablation-overhead":   AblationOverhead,
+	"ablation-rdv":        AblationRdvThreshold,
+	"ablation-modes":      AblationModes,
+	"ablation-composite":  AblationComposite,
+	"ablation-sampling":   AblationSampling,
+}
+
+// FigureIDs lists the registry keys in stable order.
+func FigureIDs() []string {
+	ids := make([]string, 0, len(figureRegistry))
+	for id := range figureRegistry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run regenerates one figure by id.
+func Run(id string) (Figure, error) {
+	fn, ok := figureRegistry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("bench: unknown figure %q (have %v)", id, FigureIDs())
+	}
+	return fn()
+}

@@ -1,0 +1,194 @@
+// Package bench is the harness that regenerates every figure and table of
+// the paper's evaluation (§5): the raw ping-pong (Figure 2 and the §5.1
+// overhead numbers), the multi-segment ping-pong over separate
+// communicators (Figure 3), and the indexed-datatype transfer (Figure 4),
+// plus the ablations DESIGN.md calls out.
+//
+// Measurements are virtual-time exact: each data point builds a fresh
+// two-node world, runs the workload and reads the clock. No wall-clock
+// noise, no warmup heuristics — two iterations of warmup only to reach
+// steady protocol state (established gates, drained first-packet effects).
+package bench
+
+import (
+	"fmt"
+
+	"nmad/internal/baseline"
+	"nmad/internal/core"
+	"nmad/internal/madmpi"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Seg is one contiguous block of a non-contiguous layout, shared between
+// the MAD-MPI and baseline typed paths.
+type Seg struct {
+	Off int
+	Len int
+}
+
+// Pending is a nonblocking operation in flight.
+type Pending interface {
+	Wait(p *sim.Proc) error
+}
+
+// Peer is the MPI surface the benchmarks need, implemented by MAD-MPI and
+// by both baseline personalities.
+type Peer interface {
+	// Isend/Irecv address (rank, tag, communicator); communicators are
+	// dense small integers starting at 0.
+	Isend(p *sim.Proc, buf []byte, dest, tag, comm int) Pending
+	Irecv(p *sim.Proc, buf []byte, src, tag, comm int) Pending
+	// SendTyped/RecvTyped move a non-contiguous layout, each
+	// implementation using its own datatype engine.
+	SendTyped(p *sim.Proc, base []byte, segs []Seg, dest, tag, comm int) error
+	RecvTyped(p *sim.Proc, base []byte, segs []Seg, src, tag, comm int) error
+}
+
+// Impl names an MPI implementation and builds a two-rank job over a
+// fabric.
+type Impl struct {
+	Name string
+	Make func(f *simnet.Fabric) (Peer, Peer, error)
+}
+
+// MadMPI returns the MAD-MPI implementation with the given engine
+// options (DefaultOptions reproduces the paper's configuration).
+func MadMPI(opts core.Options) Impl {
+	name := "MadMPI"
+	if opts.Strategy != "" && opts.Strategy != "aggreg" {
+		name = "MadMPI[" + opts.Strategy + "]"
+	}
+	return Impl{
+		Name: name,
+		Make: func(f *simnet.Fabric) (Peer, Peer, error) {
+			m0, err := madmpi.Init(f, 0, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			m1, err := madmpi.Init(f, 1, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &madPeer{mpi: m0}, &madPeer{mpi: m1}, nil
+		},
+	}
+}
+
+// MPICH returns the MPICH-like baseline.
+func MPICH() Impl { return baselineImpl("MPICH", baseline.MPICH()) }
+
+// OpenMPI returns the OpenMPI-like baseline.
+func OpenMPI() Impl { return baselineImpl("OpenMPI", baseline.OpenMPI()) }
+
+func baselineImpl(name string, opts baseline.Options) Impl {
+	return Impl{
+		Name: name,
+		Make: func(f *simnet.Fabric) (Peer, Peer, error) {
+			r0, err := baseline.NewRank(f, 0, 0, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			r1, err := baseline.NewRank(f, 0, 1, opts)
+			if err != nil {
+				return nil, nil, err
+			}
+			return &basePeer{r: r0}, &basePeer{r: r1}, nil
+		},
+	}
+}
+
+// madPeer adapts madmpi to the Peer interface.
+type madPeer struct {
+	mpi   *madmpi.MPI
+	comms []*madmpi.Comm
+}
+
+// comm resolves a dense communicator index, duplicating in ascending
+// order (both ranks follow the same order, so ids agree).
+func (m *madPeer) comm(i int) *madmpi.Comm {
+	if len(m.comms) == 0 {
+		m.comms = append(m.comms, m.mpi.CommWorld())
+	}
+	for len(m.comms) <= i {
+		m.comms = append(m.comms, m.comms[0].Dup())
+	}
+	return m.comms[i]
+}
+
+func (m *madPeer) Isend(p *sim.Proc, buf []byte, dest, tag, comm int) Pending {
+	return reqPending{m.comm(comm).Isend(p, buf, dest, tag)}
+}
+
+func (m *madPeer) Irecv(p *sim.Proc, buf []byte, src, tag, comm int) Pending {
+	return reqPending{m.comm(comm).Irecv(p, buf, src, tag)}
+}
+
+func (m *madPeer) SendTyped(p *sim.Proc, base []byte, segs []Seg, dest, tag, comm int) error {
+	_, err := m.comm(comm).IsendTyped(p, base, segsToDatatype(segs), 1, dest, tag).Wait(p)
+	return err
+}
+
+func (m *madPeer) RecvTyped(p *sim.Proc, base []byte, segs []Seg, src, tag, comm int) error {
+	_, err := m.comm(comm).IrecvTyped(p, base, segsToDatatype(segs), 1, src, tag).Wait(p)
+	return err
+}
+
+// Stats exposes the engine counters for assertions and reports.
+func (m *madPeer) Stats() core.Stats { return m.mpi.Engine().Stats() }
+
+func segsToDatatype(segs []Seg) madmpi.Datatype {
+	lens := make([]int, len(segs))
+	displs := make([]int, len(segs))
+	for i, s := range segs {
+		lens[i] = s.Len
+		displs[i] = s.Off
+	}
+	return madmpi.Hindexed(lens, displs, madmpi.Byte)
+}
+
+type reqPending struct{ r *madmpi.Request }
+
+func (q reqPending) Wait(p *sim.Proc) error {
+	_, err := q.r.Wait(p)
+	return err
+}
+
+// basePeer adapts a baseline rank to the Peer interface.
+type basePeer struct{ r *baseline.Rank }
+
+func (b *basePeer) Isend(p *sim.Proc, buf []byte, dest, tag, comm int) Pending {
+	return b.r.Isend(p, buf, dest, tag, comm)
+}
+
+func (b *basePeer) Irecv(p *sim.Proc, buf []byte, src, tag, comm int) Pending {
+	return b.r.Irecv(p, buf, src, tag, comm)
+}
+
+func (b *basePeer) SendTyped(p *sim.Proc, base []byte, segs []Seg, dest, tag, comm int) error {
+	return b.r.SendTyped(p, base, toBaselineSegs(segs), dest, tag, comm)
+}
+
+func (b *basePeer) RecvTyped(p *sim.Proc, base []byte, segs []Seg, src, tag, comm int) error {
+	return b.r.RecvTyped(p, base, toBaselineSegs(segs), src, tag, comm)
+}
+
+func toBaselineSegs(segs []Seg) []baseline.Segment {
+	out := make([]baseline.Segment, len(segs))
+	for i, s := range segs {
+		out[i] = baseline.Segment{Offset: s.Off, Len: s.Len}
+	}
+	return out
+}
+
+// newFabric assembles a fresh world with the given rails.
+func newFabric(profs []simnet.Profile) (*sim.World, *simnet.Fabric, error) {
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	for _, prof := range profs {
+		if _, err := f.AddNetwork(prof); err != nil {
+			return nil, nil, fmt.Errorf("bench: %w", err)
+		}
+	}
+	return w, f, nil
+}

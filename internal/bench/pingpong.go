@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"fmt"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Runners for the three workloads of §5. Each returns the mean one-way
+// transfer time in virtual microseconds.
+
+// defaultWarmup and defaultIters: the simulation is deterministic, so a
+// couple of warmup round-trips (to establish gates and reach steady
+// protocol state) and a handful of measured ones suffice.
+const (
+	defaultWarmup = 2
+	defaultIters  = 5
+)
+
+// PingPong runs the §5.1 workload: a single-segment ping-pong of the
+// given size, returning the one-way latency in µs.
+func PingPong(impl Impl, profs []simnet.Profile, size int) (float64, error) {
+	w, f, err := newFabric(profs)
+	if err != nil {
+		return 0, err
+	}
+	p0, p1, err := impl.Make(f)
+	if err != nil {
+		return 0, err
+	}
+	buf0 := make([]byte, size)
+	buf1 := make([]byte, size)
+	var start, stop sim.Time
+	w.Spawn("rank0", func(p *sim.Proc) {
+		for i := 0; i < defaultWarmup+defaultIters; i++ {
+			if i == defaultWarmup {
+				start = p.Now()
+			}
+			if err := waitBoth(p, p0.Isend(p, buf0, 1, 0, 0), nil); err != nil {
+				panic(err)
+			}
+			if err := p0.Irecv(p, buf0, 1, 0, 0).Wait(p); err != nil {
+				panic(err)
+			}
+		}
+		stop = p.Now()
+	})
+	w.Spawn("rank1", func(p *sim.Proc) {
+		for i := 0; i < defaultWarmup+defaultIters; i++ {
+			if err := p1.Irecv(p, buf1, 0, 0, 0).Wait(p); err != nil {
+				panic(err)
+			}
+			if err := waitBoth(p, p1.Isend(p, buf1, 0, 0, 0), nil); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		return 0, fmt.Errorf("bench: ping-pong(%s, %d): %w", impl.Name, size, err)
+	}
+	return halfRTT(start, stop, defaultIters), nil
+}
+
+// MultiSegPingPong runs the §5.2 workload: each "ping" is nsegs
+// independent Isends of segSize bytes, each on its own communicator
+// (showing that the optimization scope is global), completed by Wait on
+// every request. Returns the one-way latency in µs.
+func MultiSegPingPong(impl Impl, profs []simnet.Profile, segSize, nsegs int) (float64, error) {
+	w, f, err := newFabric(profs)
+	if err != nil {
+		return 0, err
+	}
+	p0, p1, err := impl.Make(f)
+	if err != nil {
+		return 0, err
+	}
+	bufs0 := make([][]byte, nsegs)
+	bufs1 := make([][]byte, nsegs)
+	for i := range bufs0 {
+		bufs0[i] = make([]byte, segSize)
+		bufs1[i] = make([]byte, segSize)
+	}
+	sendAll := func(p *sim.Proc, peer Peer, bufs [][]byte, dst int) {
+		reqs := make([]Pending, nsegs)
+		for i := 0; i < nsegs; i++ {
+			reqs[i] = peer.Isend(p, bufs[i], dst, 0, i)
+		}
+		for _, r := range reqs {
+			if err := r.Wait(p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	recvAll := func(p *sim.Proc, peer Peer, bufs [][]byte, src int) {
+		reqs := make([]Pending, nsegs)
+		for i := 0; i < nsegs; i++ {
+			reqs[i] = peer.Irecv(p, bufs[i], src, 0, i)
+		}
+		for _, r := range reqs {
+			if err := r.Wait(p); err != nil {
+				panic(err)
+			}
+		}
+	}
+	var start, stop sim.Time
+	w.Spawn("rank0", func(p *sim.Proc) {
+		for i := 0; i < defaultWarmup+defaultIters; i++ {
+			if i == defaultWarmup {
+				start = p.Now()
+			}
+			sendAll(p, p0, bufs0, 1)
+			recvAll(p, p0, bufs0, 1)
+		}
+		stop = p.Now()
+	})
+	w.Spawn("rank1", func(p *sim.Proc) {
+		for i := 0; i < defaultWarmup+defaultIters; i++ {
+			recvAll(p, p1, bufs1, 0)
+			sendAll(p, p1, bufs1, 0)
+		}
+	})
+	if err := w.Run(); err != nil {
+		return 0, fmt.Errorf("bench: multiseg(%s, %d x %d): %w", impl.Name, nsegs, segSize, err)
+	}
+	return halfRTT(start, stop, defaultIters), nil
+}
+
+// PaperDatatypeSegs builds the §5.3 layout: a sequence of (64 B small,
+// 256 KB large) block pairs totalling total data bytes. The blocks are
+// separated by gaps in memory — that is what makes the datatype genuinely
+// non-contiguous (adjacent blocks would flatten into one segment and
+// nobody would need to pack anything).
+func PaperDatatypeSegs(total int) []Seg {
+	const small, large, gap = 64, 256 << 10, 64
+	pair := small + large
+	var segs []Seg
+	off, data := 0, 0
+	add := func(n int) {
+		segs = append(segs, Seg{Off: off, Len: n})
+		off += n + gap
+		data += n
+	}
+	for data+pair <= total {
+		add(small)
+		add(large)
+	}
+	if rem := total - data; rem > 0 {
+		if rem > small {
+			add(small)
+			rem -= small
+		}
+		add(rem)
+	}
+	return segs
+}
+
+// DatatypeExtent is the buffer size needed to hold the layout of
+// PaperDatatypeSegs(total).
+func DatatypeExtent(total int) int {
+	segs := PaperDatatypeSegs(total)
+	last := segs[len(segs)-1]
+	return last.Off + last.Len
+}
+
+// DatatypePingPong runs the §5.3 workload: a ping-pong of the indexed
+// datatype (small/large block pairs) totalling total bytes. Returns the
+// one-way transfer time in µs.
+func DatatypePingPong(impl Impl, profs []simnet.Profile, total int) (float64, error) {
+	w, f, err := newFabric(profs)
+	if err != nil {
+		return 0, err
+	}
+	p0, p1, err := impl.Make(f)
+	if err != nil {
+		return 0, err
+	}
+	segs := PaperDatatypeSegs(total)
+	extent := DatatypeExtent(total)
+	base0 := make([]byte, extent)
+	base1 := make([]byte, extent)
+	var start, stop sim.Time
+	w.Spawn("rank0", func(p *sim.Proc) {
+		for i := 0; i < defaultWarmup+defaultIters; i++ {
+			if i == defaultWarmup {
+				start = p.Now()
+			}
+			if err := p0.SendTyped(p, base0, segs, 1, 0, 0); err != nil {
+				panic(err)
+			}
+			if err := p0.RecvTyped(p, base0, segs, 1, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+		stop = p.Now()
+	})
+	w.Spawn("rank1", func(p *sim.Proc) {
+		for i := 0; i < defaultWarmup+defaultIters; i++ {
+			if err := p1.RecvTyped(p, base1, segs, 0, 0, 0); err != nil {
+				panic(err)
+			}
+			if err := p1.SendTyped(p, base1, segs, 0, 0, 0); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		return 0, fmt.Errorf("bench: datatype(%s, %d): %w", impl.Name, total, err)
+	}
+	return halfRTT(start, stop, defaultIters), nil
+}
+
+func halfRTT(start, stop sim.Time, iters int) float64 {
+	return (stop - start).Microseconds() / float64(iters) / 2
+}
+
+func waitBoth(p *sim.Proc, a, b Pending) error {
+	if a != nil {
+		if err := a.Wait(p); err != nil {
+			return err
+		}
+	}
+	if b != nil {
+		if err := b.Wait(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Additional workloads beyond the paper's three, used by the ablation
+// figures: a composite application mixing a bulk stream with a
+// latency-sensitive control flow (§2's "irregular and multi-flow
+// communication schemes"), and a congestion scenario exercising the
+// bandwidth sampler.
+
+// CompositeControlLatency models a composite application: node 0 pushes a
+// continuous bulk stream (nbulk chunks of bulkSize) and, mid-stream,
+// issues one small control message. It returns the control message's
+// delivery latency in µs — the figure of merit for multiplexing quality.
+// prio selects the engine's priority flag for the control message (only
+// meaningful for MAD-MPI).
+func CompositeControlLatency(impl Impl, profs []simnet.Profile, bulkSize, nbulk int, prio bool) (float64, error) {
+	w, f, err := newFabric(profs)
+	if err != nil {
+		return 0, err
+	}
+	p0, p1, err := impl.Make(f)
+	if err != nil {
+		return 0, err
+	}
+	const (
+		bulkComm = 0
+		ctrlComm = 1
+	)
+	var sentAt, recvAt sim.Time
+	w.Spawn("sender", func(p *sim.Proc) {
+		reqs := make([]Pending, 0, nbulk+1)
+		half := nbulk / 2
+		for i := 0; i < nbulk; i++ {
+			reqs = append(reqs, p0.Isend(p, make([]byte, bulkSize), 1, 0, bulkComm))
+			if i == half {
+				sentAt = p.Now()
+				if mp, ok := p0.(*madPeer); ok && prio {
+					reqs = append(reqs, reqPending{mp.comm(ctrlComm).IsendPriority(p, []byte("ctrl"), 1, 0)})
+				} else {
+					reqs = append(reqs, p0.Isend(p, []byte("ctrl"), 1, 0, ctrlComm))
+				}
+			}
+		}
+		for _, r := range reqs {
+			if err := r.Wait(p); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.Spawn("receiver", func(p *sim.Proc) {
+		ctrl := p1.Irecv(p, make([]byte, 16), 0, 0, ctrlComm)
+		bulk := make([]Pending, nbulk)
+		for i := 0; i < nbulk; i++ {
+			bulk[i] = p1.Irecv(p, make([]byte, bulkSize), 0, 0, bulkComm)
+		}
+		if err := ctrl.Wait(p); err != nil {
+			panic(err)
+		}
+		recvAt = p.Now()
+		for _, r := range bulk {
+			if err := r.Wait(p); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err := w.Run(); err != nil {
+		return 0, fmt.Errorf("bench: composite(%s): %w", impl.Name, err)
+	}
+	return (recvAt - sentAt).Microseconds(), nil
+}
+
+// CongestedTransfer measures a large two-rail transfer when one rail is
+// congested below its nominal bandwidth. With warmup > 0, warmup
+// transfers run first so the engine's sampler learns the functional
+// bandwidth and the split strategy rebalances; with warmup == 0 the plan
+// uses nominal figures and overloads the congested rail. Returns the
+// measured transfer's one-way time in µs.
+func CongestedTransfer(size int, mxScale float64, warmup int) (float64, error) {
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	mx, err := f.AddNetwork(simnet.MX10G())
+	if err != nil {
+		return 0, err
+	}
+	if _, err := f.AddNetwork(simnet.QsNetII()); err != nil {
+		return 0, err
+	}
+	mx.SetWireScale(mxScale)
+
+	opts := core.DefaultOptions()
+	opts.Strategy = "split"
+	mkEngine := func(node simnet.NodeID) (*core.Engine, error) {
+		e, err := core.New(f, node, opts)
+		if err != nil {
+			return nil, err
+		}
+		return e, e.AttachFabric(f)
+	}
+	e0, err := mkEngine(0)
+	if err != nil {
+		return 0, err
+	}
+	e1, err := mkEngine(1)
+	if err != nil {
+		return 0, err
+	}
+
+	var start, stop sim.Time
+	w.Spawn("sender", func(p *sim.Proc) {
+		for i := 0; i <= warmup; i++ {
+			if i == warmup {
+				start = p.Now()
+			}
+			if err := e0.Gate(1).Send(p, Tagged(i), make([]byte, size)); err != nil {
+				panic(err)
+			}
+		}
+	})
+	w.Spawn("receiver", func(p *sim.Proc) {
+		for i := 0; i <= warmup; i++ {
+			if _, err := e1.Gate(0).Recv(p, Tagged(i), make([]byte, size)); err != nil {
+				panic(err)
+			}
+			stop = p.Now()
+		}
+	})
+	if err := w.Run(); err != nil {
+		return 0, err
+	}
+	return (stop - start).Microseconds(), nil
+}
+
+// Tagged converts a loop index to a flow tag (helper shared by the
+// congestion workloads).
+func Tagged(i int) core.Tag { return core.Tag(i + 1) }

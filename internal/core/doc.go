@@ -1,0 +1,28 @@
+// Package core implements the NewMadeleine communication engine — the
+// primary contribution of the paper. The engine is organized in the three
+// layers of Figure 1:
+//
+//   - the collect layer wraps each piece of application data in a packet
+//     wrapper carrying the metadata needed for identification on the
+//     receiving side (tag, sequence number, source) and inserts it into
+//     the submission lists: one list per driver for technology-pinned
+//     traffic, plus a common list for automatic load balancing;
+//
+//   - the optimizing and scheduling layer keeps the packet wrappers in an
+//     optimization window while the NICs are busy. As soon as a NIC
+//     becomes idle, the selected strategy analyzes the backlog and
+//     synthesizes the next ready-to-send packet: several wrappers —
+//     possibly from different logical flows — may be aggregated into one
+//     physical packet, wrappers may be reordered, large bodies are turned
+//     into rendezvous requests, and bodies may be split across rails;
+//
+//   - the transfer layer (package drivers) controls the NICs through the
+//     minimal network API and calls back into the scheduler whenever a
+//     card drains.
+//
+// Two application interfaces are provided, matching the paper's §3.4: the
+// Madeleine-style incremental pack/unpack interface (a message is several
+// pieces of data located anywhere in user space, delimited by begin/end
+// calls) and a tagged Isend/Irecv/Wait/Test interface on which MAD-MPI
+// (package madmpi) is built.
+package core

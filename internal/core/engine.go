@@ -1,0 +1,471 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nmad/internal/drivers"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Strategy selects the optimization function by registry name.
+	// Default: "aggreg" (the paper's aggregation strategy).
+	Strategy string
+	// SubmitOverhead is the host software cost charged per request
+	// entering the collect layer (wrapping + list insertion). Together
+	// with ScheduleOverhead it reproduces the §5.1 constant overhead of
+	// MAD-MPI versus the synchronous MPIs.
+	SubmitOverhead sim.Time
+	// ScheduleOverhead is the host cost charged per output packet for
+	// inspecting the ready list and running the optimization function.
+	ScheduleOverhead sim.Time
+	// BodyChunk caps the size of one rendezvous body transaction; larger
+	// bodies are pipelined in BodyChunk pieces. 0 means one transaction
+	// per rail share.
+	BodyChunk int
+	// Anticipate enables the second scheduling mode of §3.2: while a rail
+	// is busy, the engine pre-builds one ready-to-send packet so the rail
+	// can be re-fed the instant it idles, hiding the election cost
+	// (ScheduleOverhead) behind the previous transmission. The packet is
+	// built from the backlog present at pre-election time; wrappers
+	// submitted after it stay in the window for the next round.
+	Anticipate bool
+	// FlushBacklog enables the third scheduling mode of §3.2: once the
+	// backlog a rail could send reaches this many wrappers, the engine
+	// runs the optimization function unconditionally and queues the
+	// output at the (possibly busy) NIC. 0 disables; the default
+	// just-in-time behaviour only elects on NIC-idle events.
+	FlushBacklog int
+	// Tracer, when non-nil, records every scheduling decision on the
+	// virtual timeline (see package trace).
+	Tracer *trace.Recorder
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: the aggregation strategy and the measured MAD-MPI software
+// overheads.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:         "aggreg",
+		SubmitOverhead:   150 * sim.Nanosecond,
+		ScheduleOverhead: 150 * sim.Nanosecond,
+	}
+}
+
+// Engine is one node's NewMadeleine instance: the collect layer, the
+// optimizer-scheduler and the bindings to the transfer layer drivers.
+type Engine struct {
+	world *sim.World
+	node  *simnet.Node
+	opts  Options
+	strat Strategy
+
+	drvs     []drivers.Driver
+	feeding  []bool          // rail claimed by an output being built (ScheduleOverhead)
+	staged   []*stagedOutput // pre-built packet per rail (Options.Anticipate)
+	samplers []*railSampler  // achieved-bandwidth estimators per rail
+
+	gates     map[simnet.NodeID]*Gate
+	gateOrder []*Gate // deterministic iteration
+	rr        int     // round-robin cursor over gates
+
+	rdvSend   map[uint32]*rdvSend
+	rdvRecv   map[rdvKey]*rdvRecv
+	nextRdvID uint32
+
+	syncAcks   map[uint32]*SendRequest // synchronous sends awaiting the ack
+	nextSyncID uint32
+
+	cond  *sim.Cond
+	stats Stats
+}
+
+// New creates an engine for one node of a fabric. Drivers must then be
+// attached (Attach or AttachFabric) before gates can carry traffic.
+func New(f *simnet.Fabric, node simnet.NodeID, opts Options) (*Engine, error) {
+	if opts.Strategy == "" {
+		opts.Strategy = "aggreg"
+	}
+	strat, err := NewStrategy(opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	w := f.World()
+	return &Engine{
+		world:    w,
+		node:     f.Node(node),
+		opts:     opts,
+		strat:    strat,
+		gates:    make(map[simnet.NodeID]*Gate),
+		rdvSend:  make(map[uint32]*rdvSend),
+		rdvRecv:  make(map[rdvKey]*rdvRecv),
+		syncAcks: make(map[uint32]*SendRequest),
+		cond:     sim.NewCond(w),
+	}, nil
+}
+
+// Attach registers and opens one transfer-layer driver as a new rail.
+func (e *Engine) Attach(drv drivers.Driver) error {
+	idx := len(e.drvs)
+	if err := drv.Open(
+		func(d simnet.Delivery) { e.onDelivery(idx, d) },
+		func() { e.pump(idx) },
+	); err != nil {
+		return err
+	}
+	e.drvs = append(e.drvs, drv)
+	e.feeding = append(e.feeding, false)
+	e.staged = append(e.staged, nil)
+	e.samplers = append(e.samplers, new(railSampler))
+	e.stats.PerDriverBytes = append(e.stats.PerDriverBytes, 0)
+	for _, g := range e.gateOrder {
+		g.win.perDriver = append(g.win.perDriver, nil)
+	}
+	return nil
+}
+
+// AttachFabric attaches one driver per network of the fabric, using the
+// port registry.
+func (e *Engine) AttachFabric(f *simnet.Fabric) error {
+	for _, net := range f.Networks() {
+		drv, err := drivers.New(net, e.node.ID)
+		if err != nil {
+			return err
+		}
+		if err := e.Attach(drv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts down every driver.
+func (e *Engine) Close() error {
+	var first error
+	for _, d := range e.drvs {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// World returns the engine's simulation world.
+func (e *Engine) World() *sim.World { return e.world }
+
+// NodeID returns the node the engine runs on.
+func (e *Engine) NodeID() simnet.NodeID { return e.node.ID }
+
+// Drivers returns the attached rails in attach order.
+func (e *Engine) Drivers() []drivers.Driver { return e.drvs }
+
+// StrategyName reports the active optimization strategy.
+func (e *Engine) StrategyName() string { return e.strat.Name() }
+
+// Cond exposes the engine-wide completion condition variable: it is
+// broadcast whenever any request completes or an unexpected message
+// arrives, so layered code (MPI Waitany, probing loops) can block on
+// engine progress.
+func (e *Engine) Cond() *sim.Cond { return e.cond }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.PerDriverBytes = append([]int64(nil), e.stats.PerDriverBytes...)
+	return s
+}
+
+// Gate returns (creating on first use) the connection to a peer node.
+func (e *Engine) Gate(peer simnet.NodeID) *Gate {
+	if g, ok := e.gates[peer]; ok {
+		return g
+	}
+	g := &Gate{
+		eng:     e,
+		peer:    peer,
+		win:     newWindow(len(e.drvs)),
+		sendSeq: make(map[Tag]SeqNum),
+		flows:   make(map[Tag]*rxFlow),
+	}
+	e.gates[peer] = g
+	e.gateOrder = append(e.gateOrder, g)
+	return g
+}
+
+// chargeSubmit models the host software cost of entering the collect
+// layer. When called from a simulated process the process sleeps; from
+// engine callbacks the cost is already accounted in ScheduleOverhead.
+func (e *Engine) chargeSubmit(p *sim.Proc) {
+	if p != nil && e.opts.SubmitOverhead > 0 {
+		p.Sleep(e.opts.SubmitOverhead)
+	}
+}
+
+// traceEvent records one event when tracing is enabled. The Kind-specific
+// fields ride in ev; node and time are filled here.
+func (e *Engine) traceEvent(kind trace.Kind, peer simnet.NodeID, rail int, tag Tag, bytes, entries int, note string) {
+	if e.opts.Tracer == nil {
+		return
+	}
+	e.opts.Tracer.Record(trace.Event{
+		At:      e.world.Now(),
+		Kind:    kind,
+		Node:    int(e.node.ID),
+		Peer:    int(peer),
+		Rail:    rail,
+		Tag:     uint64(tag),
+		Bytes:   bytes,
+		Entries: entries,
+		Note:    note,
+	})
+}
+
+// submit inserts a wrapper into the window and kicks the scheduler.
+func (e *Engine) submit(pw *packet) {
+	pw.submittedAt = e.world.Now()
+	pw.gate.win.push(pw)
+	e.stats.Submitted++
+	e.traceEvent(trace.Submit, pw.gate.peer, -1, pw.tag, len(pw.data), 0, pw.kind.String())
+	e.pumpAll()
+	if e.opts.FlushBacklog > 0 {
+		e.flush(pw.gate)
+	}
+	if e.opts.Anticipate {
+		for i := range e.drvs {
+			e.stage(i)
+		}
+	}
+}
+
+// pumpAll offers work to every idle rail.
+func (e *Engine) pumpAll() {
+	for i := range e.drvs {
+		e.pump(i)
+	}
+}
+
+// elect asks the strategy for the next output packet for a rail,
+// round-robin fair over the gates. It returns (nil, nil) when nothing is
+// electable.
+func (e *Engine) elect(drv int) (*Gate, *output) {
+	caps := e.drvs[drv].Caps()
+	n := len(e.gateOrder)
+	for i := 0; i < n; i++ {
+		g := e.gateOrder[(e.rr+i)%n]
+		if g.win.pending(drv) == 0 {
+			continue
+		}
+		e.prepare(g, drv, caps)
+		out := e.strat.Elect(g, drv, caps)
+		if out == nil || len(out.entries) == 0 {
+			continue
+		}
+		e.rr = (e.rr + i + 1) % n
+		return g, out
+	}
+	return nil, nil
+}
+
+// pump is the heart of the optimizer-scheduler layer: called whenever
+// rail drv might be idle, it hands over the pre-staged packet if
+// anticipation built one, or asks the strategy for the next output and
+// feeds the rail. The paper's just-in-time property comes from being
+// driven by NIC-idle events rather than by the application.
+func (e *Engine) pump(drv int) {
+	if e.feeding[drv] || !e.drvs[drv].Poll() {
+		return
+	}
+	if st := e.staged[drv]; st != nil {
+		// Anticipation: the packet was built while the rail was busy;
+		// submit as soon as its preparation has finished (usually
+		// immediately — the election cost hid behind the transmission).
+		e.staged[drv] = nil
+		e.feeding[drv] = true
+		delay := st.readyAt - e.world.Now()
+		if delay < 0 {
+			delay = 0
+		}
+		e.world.After(delay, func() {
+			e.feeding[drv] = false
+			e.send(st.gate, drv, st.out)
+		})
+		return
+	}
+	g, out := e.elect(drv)
+	if out == nil {
+		return
+	}
+	e.feed(g, drv, out)
+}
+
+// stagedOutput is a packet pre-built for a busy rail (Options.Anticipate).
+type stagedOutput struct {
+	gate    *Gate
+	out     *output
+	readyAt sim.Time
+}
+
+// stage pre-elects an output for a busy rail so the next idle event can
+// be answered instantly (§3.2's second scheduling mode).
+func (e *Engine) stage(drv int) {
+	if !e.opts.Anticipate || e.staged[drv] != nil || e.feeding[drv] || e.drvs[drv].Poll() {
+		return
+	}
+	g, out := e.elect(drv)
+	if out == nil {
+		return
+	}
+	e.account(g, drv, out)
+	e.staged[drv] = &stagedOutput{gate: g, out: out, readyAt: e.world.Now() + e.opts.ScheduleOverhead}
+}
+
+// flush force-elects whenever a rail's visible backlog reaches the
+// configured threshold, queueing the output at the (possibly busy) NIC
+// (§3.2's third scheduling mode).
+func (e *Engine) flush(g *Gate) {
+	for drv := range e.drvs {
+		for g.win.pending(drv) >= e.opts.FlushBacklog {
+			caps := e.drvs[drv].Caps()
+			e.prepare(g, drv, caps)
+			out := e.strat.Elect(g, drv, caps)
+			if out == nil || len(out.entries) == 0 {
+				break
+			}
+			e.feed(g, drv, out)
+		}
+	}
+}
+
+// prepare converts oversized data wrappers into rendezvous requests, so
+// strategies only ever see wrappers that fit the eager protocol (plus
+// body chunks, which are exempt).
+func (e *Engine) prepare(g *Gate, drv int, caps drivers.Caps) {
+	var oversized []*packet
+	g.win.scan(drv, func(pw *packet) bool {
+		if pw.kind == kindData && caps.RdvThreshold > 0 && len(pw.data) >= caps.RdvThreshold {
+			oversized = append(oversized, pw)
+		}
+		return true
+	})
+	for _, pw := range oversized {
+		e.convertToRTS(pw)
+	}
+}
+
+// account books the output's statistics and removes its wrappers from the
+// window (they are now owned by the output).
+func (e *Engine) account(g *Gate, drv int, out *output) {
+	g.win.take(out.entries)
+
+	e.stats.OutputPackets++
+	e.stats.EntriesSent += len(out.entries)
+	if len(out.entries) > 1 {
+		e.stats.AggregatedPackets++
+	}
+	if len(out.entries) > e.stats.MaxEntriesPerPacket {
+		e.stats.MaxEntriesPerPacket = len(out.entries)
+	}
+	hasData, hasCtrl := false, false
+	for _, pw := range out.entries {
+		switch {
+		case pw.ctrl():
+			hasCtrl = true
+		case pw.kind == kindChunk:
+			hasData = true // body bytes were counted at startBody time
+		default:
+			hasData = true
+			e.stats.EagerBytes += int64(len(pw.data))
+		}
+		e.stats.PerDriverBytes[drv] += int64(len(pw.data))
+	}
+	if hasData && hasCtrl {
+		e.stats.CtrlPiggybacked++
+	}
+	e.traceEvent(trace.Elect, g.peer, drv, 0, out.wireSize(), len(out.entries), e.strat.Name())
+}
+
+// feed claims the rail, charges the scheduling overhead, then hands the
+// encoded output to the driver.
+func (e *Engine) feed(g *Gate, drv int, out *output) {
+	e.account(g, drv, out)
+	e.feeding[drv] = true
+	send := func() {
+		e.feeding[drv] = false
+		e.send(g, drv, out)
+	}
+	if e.opts.ScheduleOverhead > 0 {
+		e.world.After(e.opts.ScheduleOverhead, send)
+	} else {
+		send()
+	}
+}
+
+// send hands the encoded output to the driver, arranges per-wrapper
+// completions and bandwidth sampling, and pre-stages the next packet if
+// anticipation is on.
+func (e *Engine) send(g *Gate, drv int, out *output) {
+	segs := out.encode()
+	entries := out.entries
+	payload := 0
+	for _, pw := range entries {
+		payload += len(pw.data)
+	}
+	t0 := e.world.Now()
+	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {
+		e.samplers[drv].observe(payload, e.world.Now()-t0)
+		for _, pw := range entries {
+			if pw.onSent != nil {
+				pw.onSent()
+			}
+			if pw.req != nil && pw.kind != kindRTS {
+				pw.req.doneOne()
+			}
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: strategy %s built an unsendable packet: %v", e.strat.Name(), err))
+	}
+	e.traceEvent(trace.Depart, g.peer, drv, 0, payload, len(entries), "")
+	if e.opts.Anticipate {
+		e.stage(drv)
+	}
+}
+
+// WindowEmpty reports whether every gate's window has drained (useful for
+// quiescence checks in tests).
+func (e *Engine) WindowEmpty() bool {
+	for _, g := range e.gateOrder {
+		if !g.win.empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// bestRail picks the attached rail with the highest nominal bandwidth,
+// preferring RDMA-capable rails.
+func bestRail(e *Engine) int {
+	best, bestScore := 0, -1.0
+	for i, d := range e.drvs {
+		c := d.Caps()
+		score := c.Bandwidth
+		if c.RDMA {
+			score *= 2
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// singleRailPlan streams the whole body over the best rail.
+func singleRailPlan(e *Engine, size int) []BodyShare {
+	return []BodyShare{{Driver: bestRail(e), Offset: 0, Size: size}}
+}
+
+var errNoDrivers = errors.New("core: engine has no attached drivers")

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Gate is a connection to one peer node (NewMadeleine terminology). All
+// sends and receives are gate-scoped; the engine optimizes across every
+// flow of every gate.
+type Gate struct {
+	eng  *Engine
+	peer simnet.NodeID
+	win  *window
+
+	// sender side: next sequence number per flow tag.
+	sendSeq map[Tag]SeqNum
+
+	// receiver side: resequencing per flow, posted receives, unexpected
+	// arrivals.
+	flows      map[Tag]*rxFlow
+	posted     []*RecvRequest
+	unexpected []*inEntry
+}
+
+// Peer returns the remote node the gate connects to.
+func (g *Gate) Peer() simnet.NodeID { return g.peer }
+
+// Engine returns the owning engine.
+func (g *Gate) Engine() *Engine { return g.eng }
+
+// SendOptions tunes one submission.
+type SendOptions struct {
+	// Flags set the scheduling/delivery hints on the wrapper.
+	Flags Flags
+	// Driver pins the wrapper to one rail (index into Engine.Drivers),
+	// or AnyDriver for the load-balanced common list.
+	Driver int
+}
+
+// Isend submits one piece of data on flow tag and returns immediately.
+// The request completes when the NIC has finished with the data (for
+// rendezvous sends, when the body has fully streamed out). p may be nil
+// when calling from non-process context; the submit overhead is then not
+// charged.
+func (g *Gate) Isend(p *sim.Proc, tag Tag, data []byte) *SendRequest {
+	return g.IsendOpts(p, tag, data, SendOptions{Driver: AnyDriver})
+}
+
+// IsendOpts is Isend with explicit options.
+func (g *Gate) IsendOpts(p *sim.Proc, tag Tag, data []byte, opts SendOptions) *SendRequest {
+	if len(g.eng.drvs) == 0 {
+		req := &SendRequest{request: request{eng: g.eng}, tag: tag}
+		req.complete(errNoDrivers)
+		return req
+	}
+	g.eng.chargeSubmit(p)
+	req := &SendRequest{request: request{eng: g.eng}, tag: tag, bytes: len(data)}
+	req.add(1)
+	pw := &packet{
+		gate:   g,
+		kind:   kindData,
+		flags:  opts.Flags,
+		tag:    tag,
+		seq:    g.nextSeq(tag),
+		data:   data,
+		size:   uint32(len(data)),
+		driver: opts.Driver,
+		req:    req,
+	}
+	if opts.Flags&FlagNeedAck != 0 {
+		// Synchronous semantics: an extra completion unit retired only by
+		// the receiver's ack.
+		req.add(1)
+		g.eng.nextSyncID++
+		pw.aux = g.eng.nextSyncID
+		g.eng.syncAcks[pw.aux] = req
+	}
+	g.eng.submit(pw)
+	return req
+}
+
+// Issend is Isend with synchronous completion: the request finishes only
+// once the receiver has matched the message (MPI_Issend semantics). For
+// messages above the rendezvous threshold this is free — the rendezvous
+// handshake already implies a match; below it the receiver returns an ack
+// control entry.
+func (g *Gate) Issend(p *sim.Proc, tag Tag, data []byte) *SendRequest {
+	return g.IsendOpts(p, tag, data, SendOptions{Flags: FlagNeedAck, Driver: AnyDriver})
+}
+
+// Ssend is the blocking form of Issend.
+func (g *Gate) Ssend(p *sim.Proc, tag Tag, data []byte) error {
+	return g.Issend(p, tag, data).Wait(p)
+}
+
+// Probe reports whether a message matching (want, mask) has arrived and
+// is waiting unexpected, without consuming it. It returns the matched tag
+// and payload size (the body size for a rendezvous request).
+func (g *Gate) Probe(want, mask Tag) (ok bool, tag Tag, size int) {
+	for _, ent := range g.unexpected {
+		if ent.h.tag&mask == want&mask {
+			n := len(ent.payload)
+			if ent.h.kind == kindRTS {
+				n = int(ent.h.length)
+			}
+			return true, ent.h.tag, n
+		}
+	}
+	return false, 0, 0
+}
+
+// ProbeWait blocks until a matching message is waiting (MPI_Probe).
+func (g *Gate) ProbeWait(p *sim.Proc, want, mask Tag) (tag Tag, size int) {
+	for {
+		if ok, tag, size := g.Probe(want, mask); ok {
+			return tag, size
+		}
+		g.eng.cond.Wait(p)
+	}
+}
+
+// Send is the blocking convenience over Isend.
+func (g *Gate) Send(p *sim.Proc, tag Tag, data []byte) error {
+	return g.Isend(p, tag, data).Wait(p)
+}
+
+// Irecv posts a receive for the next message on flow tag, delivering into
+// buf. The request completes once the payload is in place.
+func (g *Gate) Irecv(p *sim.Proc, tag Tag, buf []byte) *RecvRequest {
+	return g.IrecvMasked(p, tag, ^Tag(0), buf)
+}
+
+// IrecvMasked posts a wildcard receive: it matches the first arriving
+// message whose tag satisfies tag&mask == want. MAD-MPI builds ANY_TAG
+// receives on it by masking out the user-tag bits.
+func (g *Gate) IrecvMasked(p *sim.Proc, want, mask Tag, buf []byte) *RecvRequest {
+	g.eng.chargeSubmit(p)
+	req := &RecvRequest{request: request{eng: g.eng}, want: want & mask, mask: mask, buf: buf}
+	if !g.matchUnexpected(req) {
+		g.posted = append(g.posted, req)
+	}
+	return req
+}
+
+// Recv is the blocking convenience over Irecv; it returns the payload
+// size.
+func (g *Gate) Recv(p *sim.Proc, tag Tag, buf []byte) (int, error) {
+	req := g.Irecv(p, tag, buf)
+	if err := req.Wait(p); err != nil {
+		return req.N(), err
+	}
+	return req.N(), nil
+}
+
+// nextSeq assigns the next sender-side sequence number of a flow.
+func (g *Gate) nextSeq(tag Tag) SeqNum {
+	s := g.sendSeq[tag]
+	g.sendSeq[tag] = s + 1
+	return s
+}
+
+// pushCtrl submits a control wrapper (rendezvous handshake). Control
+// wrappers are priority + unordered and ride the common list so the first
+// idle rail carries them.
+func (g *Gate) pushCtrl(kind entryKind, tag Tag, size uint32, rdvID uint32) {
+	pw := &packet{
+		gate:   g,
+		kind:   kind,
+		flags:  FlagPriority | FlagUnordered,
+		tag:    tag,
+		size:   size,
+		aux:    rdvID,
+		driver: AnyDriver,
+	}
+	g.eng.submit(pw)
+}
+
+// PendingUnexpected reports how many arrived-but-unmatched wrappers the
+// gate holds (diagnostics).
+func (g *Gate) PendingUnexpected() int { return len(g.unexpected) }
+
+// PendingPosted reports how many posted receives await a match.
+func (g *Gate) PendingPosted() int { return len(g.posted) }

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Tests for the §3.2 alternative scheduling modes (anticipation, backlog
+// flush) and the network sampling feature.
+
+// burstExchange pushes n messages one way and returns the completion time
+// and sender stats.
+func burstExchange(t *testing.T, opts Options, n, size int) (sim.Time, Stats) {
+	t.Helper()
+	w, e0, e1 := testWorld(t, opts)
+	var done sim.Time
+	w.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			e0.Gate(1).Isend(p, Tag(i), make([]byte, size))
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		reqs := make([]*RecvRequest, n)
+		for i := 0; i < n; i++ {
+			reqs[i] = e1.Gate(0).Irecv(p, Tag(i), make([]byte, size))
+		}
+		for _, r := range reqs {
+			if err := r.Wait(p); err != nil {
+				t.Error(err)
+			}
+		}
+		done = p.Now()
+	})
+	run(t, w)
+	return done, e0.Stats()
+}
+
+func TestAnticipationDeliversEverything(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Anticipate = true
+	done, st := burstExchange(t, opts, 24, 128)
+	if done == 0 {
+		t.Fatal("no completion")
+	}
+	if st.EntriesSent != 24 {
+		t.Errorf("EntriesSent = %d, want 24", st.EntriesSent)
+	}
+}
+
+func TestAnticipationPreservesFlowOrder(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Anticipate = true
+	w, e0, e1 := testWorld(t, opts)
+	const n = 30
+	w.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			e0.Gate(1).Isend(p, 1, []byte{byte(i)})
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 1)
+			if _, err := e1.Gate(0).Recv(p, 1, buf); err != nil {
+				t.Fatal(err)
+			}
+			if buf[0] != byte(i) {
+				t.Fatalf("position %d got %d", i, buf[0])
+			}
+		}
+	})
+	run(t, w)
+}
+
+func TestAnticipationNotSlowerOnBursts(t *testing.T) {
+	// Anticipation hides the election cost behind the previous
+	// transmission; on a steady burst it must not lose to just-in-time.
+	jit := DefaultOptions()
+	ant := DefaultOptions()
+	ant.Anticipate = true
+	tJit, _ := burstExchange(t, jit, 32, 64)
+	tAnt, _ := burstExchange(t, ant, 32, 64)
+	// Anticipation trades aggregation for readiness: staged packets miss
+	// wrappers that arrive during the transmission, so it runs somewhat
+	// behind just-in-time on bursts — the reason it is not the default
+	// (and an ablation worth keeping). Bound the regression.
+	if float64(tAnt) > float64(tJit)*1.25 {
+		t.Errorf("anticipation %v vs just-in-time %v: regression beyond the expected trade-off", tAnt, tJit)
+	}
+}
+
+func TestAnticipationTradesAggregation(t *testing.T) {
+	// The reason just-in-time is the default: staging early forecloses
+	// aggregating wrappers that arrive during the transmission. The
+	// anticipating engine can only aggregate what it saw at staging time.
+	jit := DefaultOptions()
+	ant := DefaultOptions()
+	ant.Anticipate = true
+	_, stJit := burstExchange(t, jit, 24, 128)
+	_, stAnt := burstExchange(t, ant, 24, 128)
+	if stAnt.AggregationRatio() > stJit.AggregationRatio() {
+		t.Errorf("anticipation aggregated more (%.2f) than just-in-time (%.2f); staging should never see a bigger backlog",
+			stAnt.AggregationRatio(), stJit.AggregationRatio())
+	}
+}
+
+func TestFlushBacklogForcesEarlyOutput(t *testing.T) {
+	// With a flush threshold the backlog is cut into packets of at most
+	// that many wrappers, queued behind the busy NIC.
+	flush := DefaultOptions()
+	flush.FlushBacklog = 4
+	_, st := burstExchange(t, flush, 16, 64)
+	if st.MaxEntriesPerPacket > 4+1 {
+		t.Errorf("MaxEntriesPerPacket = %d with FlushBacklog=4", st.MaxEntriesPerPacket)
+	}
+	if st.OutputPackets < 4 {
+		t.Errorf("OutputPackets = %d, want the burst cut into several flushes", st.OutputPackets)
+	}
+}
+
+func TestFlushBacklogDeliversIntact(t *testing.T) {
+	flush := DefaultOptions()
+	flush.FlushBacklog = 3
+	w, e0, e1 := testWorld(t, flush)
+	rng := sim.NewRNG(77)
+	const n = 20
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = make([]byte, rng.Range(1, 2000))
+		rng.Bytes(payloads[i])
+	}
+	w.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			e0.Gate(1).Isend(p, 5, payloads[i])
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			buf := make([]byte, 2048)
+			got, err := e1.Gate(0).Recv(p, 5, buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf[:got], payloads[i]) {
+				t.Fatalf("message %d corrupted", i)
+			}
+		}
+	})
+	run(t, w)
+}
+
+func TestSamplerWarmupAndEstimate(t *testing.T) {
+	var s railSampler
+	if s.estimate() != 0 {
+		t.Error("estimate before any observation should be 0")
+	}
+	s.observe(100, sim.Microsecond) // below samplerMinBytes: ignored
+	if s.samples != 0 {
+		t.Error("tiny transactions must not be sampled")
+	}
+	s.observe(1<<20, 0) // zero duration: ignored
+	if s.samples != 0 {
+		t.Error("zero-duration transactions must not be sampled")
+	}
+	for i := 0; i < samplerWarmup-1; i++ {
+		s.observe(1<<20, sim.Millisecond)
+		if s.estimate() != 0 {
+			t.Fatalf("estimate available after %d samples, warmup is %d", i+1, samplerWarmup)
+		}
+	}
+	s.observe(1<<20, sim.Millisecond)
+	got := s.estimate()
+	want := float64(1<<20) / sim.Millisecond.Seconds()
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("estimate %.0f B/s, want ~%.0f", got, want)
+	}
+}
+
+func TestSamplerTracksChanges(t *testing.T) {
+	var s railSampler
+	for i := 0; i < 10; i++ {
+		s.observe(1<<20, sim.Millisecond) // ~1 GB/s
+	}
+	slow := s.estimate()
+	for i := 0; i < 20; i++ {
+		s.observe(1<<20, 4*sim.Millisecond) // ~250 MB/s
+	}
+	if s.estimate() > slow/2 {
+		t.Errorf("EWMA stuck at %.0f after a sustained slowdown from %.0f", s.estimate(), slow)
+	}
+}
+
+func TestEngineSamplesRealTraffic(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	w.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if err := e0.Gate(1).Send(p, 1, make([]byte, 1<<20)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			if _, err := e1.Gate(0).Recv(p, 1, make([]byte, 1<<20)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	run(t, w)
+	bw := e0.SampledBandwidth(0)
+	if bw == 0 {
+		t.Fatal("sampler never warmed up on 5 x 1MB rendezvous bodies")
+	}
+	nominal := simnet.MX10G().Bandwidth
+	if bw < nominal*0.5 || bw > nominal*1.2 {
+		t.Errorf("sampled %.0f MB/s, nominal %.0f MB/s: should be in range", bw/1e6, nominal/1e6)
+	}
+	if e0.SampledBandwidth(99) != 0 {
+		t.Error("out-of-range rail must report 0")
+	}
+}
+
+func TestSampledSplitRebalances(t *testing.T) {
+	// Split strategy with sampling: after traffic has flowed, shares
+	// follow the measured rates. With symmetric rails and symmetric
+	// profiles the shares stay near the nominal ratio; this test checks
+	// the plumbing end to end by confirming both rails carry body bytes
+	// proportional to bandwidth even when planning from samples.
+	opts := DefaultOptions()
+	opts.Strategy = "split"
+	w, e0, e1 := testWorld(t, opts, simnet.MX10G(), simnet.QsNetII())
+	w.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			if err := e0.Gate(1).Send(p, 1, make([]byte, 2<<20)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		for i := 0; i < 6; i++ {
+			if _, err := e1.Gate(0).Recv(p, 1, make([]byte, 2<<20)); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	run(t, w)
+	if e0.SampledBandwidth(0) == 0 || e0.SampledBandwidth(1) == 0 {
+		t.Fatal("both rails should have warm samplers after 6 x 2MB split bodies")
+	}
+	st := e0.Stats()
+	share := float64(st.PerDriverBytes[0]) / float64(st.PerDriverBytes[0]+st.PerDriverBytes[1])
+	if share < 0.45 || share > 0.75 {
+		t.Errorf("MX share %.2f after sampled planning, want near the bandwidth ratio", share)
+	}
+}
+
+func TestModesComposeWithStrategies(t *testing.T) {
+	// Anticipation and flush must work under every strategy without
+	// losing or reordering data.
+	for _, strat := range []string{"default", "aggreg", "split", "prio"} {
+		for _, mode := range []string{"anticipate", "flush"} {
+			strat, mode := strat, mode
+			t.Run(strat+"/"+mode, func(t *testing.T) {
+				opts := DefaultOptions()
+				opts.Strategy = strat
+				switch mode {
+				case "anticipate":
+					opts.Anticipate = true
+				case "flush":
+					opts.FlushBacklog = 3
+				}
+				w, e0, e1 := testWorld(t, opts)
+				const n = 15
+				w.Spawn("send", func(p *sim.Proc) {
+					for i := 0; i < n; i++ {
+						e0.Gate(1).Isend(p, 2, []byte{byte(i), byte(i + 1)})
+					}
+				})
+				w.Spawn("recv", func(p *sim.Proc) {
+					for i := 0; i < n; i++ {
+						buf := make([]byte, 2)
+						if _, err := e1.Gate(0).Recv(p, 2, buf); err != nil {
+							t.Fatal(err)
+						}
+						if buf[0] != byte(i) || buf[1] != byte(i+1) {
+							t.Fatalf("message %d corrupted: %v", i, buf)
+						}
+					}
+				})
+				run(t, w)
+			})
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import "nmad/internal/sim"
+
+// The Madeleine-style incremental interface (paper §3.4): "a
+// NewMadeleine message is made of several pieces of data, located
+// anywhere in user-space. The message is initiated and finalized with a
+// synchronization barrier call." Every packed piece is an independent
+// wrapper sharing the message's flow tag, so the optimizer is free to
+// aggregate, reorder or split them.
+
+// Message is an outgoing message under construction.
+type Message struct {
+	g     *Gate
+	tag   Tag
+	opts  SendOptions
+	req   *SendRequest
+	ended bool
+}
+
+// BeginPack starts a message on the given flow.
+func (g *Gate) BeginPack(p *sim.Proc, tag Tag) *Message {
+	return g.BeginPackOpts(p, tag, SendOptions{Driver: AnyDriver})
+}
+
+// BeginPackOpts starts a message with explicit scheduling options.
+func (g *Gate) BeginPackOpts(p *sim.Proc, tag Tag, opts SendOptions) *Message {
+	req := &SendRequest{request: request{eng: g.eng}, tag: tag}
+	req.add(1) // construction hold, released by End
+	return &Message{g: g, tag: tag, opts: opts, req: req}
+}
+
+// Pack appends one piece of data to the message. The piece may start
+// traveling immediately; the engine decides.
+func (m *Message) Pack(p *sim.Proc, data []byte) {
+	if m.ended {
+		panic("core: Pack after End")
+	}
+	m.g.eng.chargeSubmit(p)
+	m.req.add(1)
+	m.req.bytes += len(data)
+	pw := &packet{
+		gate:   m.g,
+		kind:   kindData,
+		flags:  m.opts.Flags,
+		tag:    m.tag,
+		seq:    m.g.nextSeq(m.tag),
+		data:   data,
+		size:   uint32(len(data)),
+		driver: m.opts.Driver,
+		req:    m.req,
+	}
+	m.g.eng.submit(pw)
+}
+
+// PackPriority appends a piece flagged for earliest delivery (the RPC
+// service-id pattern of the paper's §2).
+func (m *Message) PackPriority(p *sim.Proc, data []byte) {
+	if m.ended {
+		panic("core: Pack after End")
+	}
+	m.g.eng.chargeSubmit(p)
+	m.req.add(1)
+	m.req.bytes += len(data)
+	pw := &packet{
+		gate:   m.g,
+		kind:   kindData,
+		flags:  m.opts.Flags | FlagPriority,
+		tag:    m.tag,
+		seq:    m.g.nextSeq(m.tag),
+		data:   data,
+		size:   uint32(len(data)),
+		driver: m.opts.Driver,
+		req:    m.req,
+	}
+	m.g.eng.submit(pw)
+}
+
+// End finalizes the message and blocks until every piece has left the
+// node (the synchronization barrier of the Madeleine interface).
+func (m *Message) End(p *sim.Proc) error {
+	if m.ended {
+		panic("core: double End")
+	}
+	m.ended = true
+	m.req.doneOne() // release the construction hold
+	return m.req.Wait(p)
+}
+
+// Request exposes the underlying send request (for Test-style polling
+// between Pack calls).
+func (m *Message) Request() *SendRequest { return m.req }
+
+// InMessage is an incoming message being unpacked.
+type InMessage struct {
+	g     *Gate
+	tag   Tag
+	reqs  []*RecvRequest
+	ended bool
+}
+
+// BeginUnpack starts receiving a message on the given flow.
+func (g *Gate) BeginUnpack(p *sim.Proc, tag Tag) *InMessage {
+	return &InMessage{g: g, tag: tag}
+}
+
+// Unpack posts the receive for the next piece of the message into buf.
+// Pieces arrive in Pack order (per-flow sequence ordering), whatever the
+// optimizer did to them in transit.
+func (m *InMessage) Unpack(p *sim.Proc, buf []byte) *RecvRequest {
+	if m.ended {
+		panic("core: Unpack after End")
+	}
+	r := m.g.Irecv(p, m.tag, buf)
+	m.reqs = append(m.reqs, r)
+	return r
+}
+
+// End blocks until every unpacked piece has landed and returns the first
+// error, if any.
+func (m *InMessage) End(p *sim.Proc) error {
+	if m.ended {
+		panic("core: double End")
+	}
+	m.ended = true
+	var first error
+	for _, r := range m.reqs {
+		if err := r.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,212 @@
+package core
+
+import "nmad/internal/sim"
+
+// AnyDriver targets the common submission list: the engine balances the
+// wrapper onto whichever rail idles first (paper §3.3: "the collected
+// pieces of data are inserted ... on the common list for automatized
+// load-balancing among all the NICs").
+const AnyDriver = -1
+
+// packet is a packet wrapper ("pw" in NewMadeleine): one piece of
+// application data plus the metadata the receiving side needs. Packet
+// wrappers live in the optimization window until a strategy elects them
+// into a physical output packet.
+type packet struct {
+	gate  *Gate
+	kind  entryKind
+	flags Flags
+	tag   Tag
+	seq   SeqNum
+	data  []byte // payload for data entries; nil for control entries
+	aux   uint32 // rendezvous id for rts/cts
+	size  uint32 // body size for rts; len(data) otherwise
+
+	// driver pins the wrapper to one rail, or AnyDriver for the common
+	// list.
+	driver int
+
+	submittedAt sim.Time
+	// onSent fires when the NIC finishes the physical packet carrying
+	// this wrapper.
+	onSent func()
+	// req is the send request this wrapper belongs to, if any.
+	req *SendRequest
+}
+
+// wireSize is the wrapper's footprint inside an output packet.
+func (pw *packet) wireSize() int {
+	if pw.kind.hasPayload() {
+		return headerSize + len(pw.data)
+	}
+	return headerSize
+}
+
+// segCount is the number of NIC gather segments the wrapper occupies.
+func (pw *packet) segCount() int {
+	if pw.kind.hasPayload() && len(pw.data) > 0 {
+		return 2 // header + payload
+	}
+	return 1
+}
+
+// ctrl reports whether the wrapper is protocol control (rendezvous
+// handshake) rather than application data.
+func (pw *packet) ctrl() bool { return pw.kind == kindRTS || pw.kind == kindCTS || pw.kind == kindAck }
+
+// prio reports whether the optimizer should favor early delivery.
+func (pw *packet) prio() bool { return pw.flags&FlagPriority != 0 || pw.ctrl() }
+
+// header builds the wire header for the wrapper.
+func (pw *packet) header() header {
+	return header{
+		kind:   pw.kind,
+		flags:  pw.flags,
+		tag:    pw.tag,
+		seq:    pw.seq,
+		length: pw.size,
+		aux:    pw.aux,
+	}
+}
+
+// window is the optimization window of one gate: the submission lists of
+// the collect layer. perDriver[i] holds wrappers pinned to rail i; common
+// holds wrappers any rail may take.
+type window struct {
+	common    []*packet
+	perDriver [][]*packet
+}
+
+func newWindow(nDrivers int) *window {
+	return &window{perDriver: make([][]*packet, nDrivers)}
+}
+
+// push inserts a wrapper at the tail of its submission list.
+func (w *window) push(pw *packet) {
+	if pw.driver == AnyDriver {
+		w.common = append(w.common, pw)
+		return
+	}
+	w.perDriver[pw.driver] = append(w.perDriver[pw.driver], pw)
+}
+
+// empty reports whether no wrapper is waiting anywhere.
+func (w *window) empty() bool {
+	if len(w.common) > 0 {
+		return false
+	}
+	for _, l := range w.perDriver {
+		if len(l) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// pending counts wrappers a given driver could send: its own list plus
+// the common list.
+func (w *window) pending(driver int) int {
+	return len(w.perDriver[driver]) + len(w.common)
+}
+
+// scan visits, in submission order, every wrapper the given driver could
+// send (its pinned list first, then the common list). The visit function
+// returns false to stop early. Wrappers must not be removed during a scan;
+// strategies collect candidates and then call take.
+func (w *window) scan(driver int, visit func(pw *packet) bool) {
+	for _, pw := range w.perDriver[driver] {
+		if !visit(pw) {
+			return
+		}
+	}
+	for _, pw := range w.common {
+		if !visit(pw) {
+			return
+		}
+	}
+}
+
+// take removes the given wrappers from their submission lists. Wrappers
+// not present are ignored (they may have been replaced in place).
+func (w *window) take(pws []*packet) {
+	member := make(map[*packet]bool, len(pws))
+	for _, pw := range pws {
+		member[pw] = true
+	}
+	w.common = filterOut(w.common, member)
+	for i := range w.perDriver {
+		w.perDriver[i] = filterOut(w.perDriver[i], member)
+	}
+}
+
+// replace swaps old for nw in place, keeping window position (used when a
+// data wrapper is converted to a rendezvous request).
+func (w *window) replace(old, nw *packet) bool {
+	lists := make([][]*packet, 0, 1+len(w.perDriver))
+	lists = append(lists, w.common)
+	lists = append(lists, w.perDriver...)
+	for _, l := range lists {
+		for i, pw := range l {
+			if pw == old {
+				l[i] = nw
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func filterOut(list []*packet, member map[*packet]bool) []*packet {
+	out := list[:0]
+	for _, pw := range list {
+		if !member[pw] {
+			out = append(out, pw)
+		}
+	}
+	// Zero the tail so removed wrappers can be collected.
+	for i := len(out); i < len(list); i++ {
+		list[i] = nil
+	}
+	return out
+}
+
+// output is one physical packet synthesized by a strategy: an ordered
+// train of wrappers bound for the same gate over one rail.
+type output struct {
+	entries []*packet
+}
+
+// encode turns the output into a NIC gather list: one segment per header,
+// one per payload. Headers are packed into a single backing array to keep
+// allocation flat.
+func (o *output) encode() [][]byte {
+	hdrs := make([]byte, 0, headerSize*len(o.entries))
+	segs := make([][]byte, 0, 2*len(o.entries))
+	for _, pw := range o.entries {
+		start := len(hdrs)
+		hdrs = encodeHeader(hdrs, pw.header())
+		segs = append(segs, hdrs[start:start+headerSize])
+		if pw.kind.hasPayload() && len(pw.data) > 0 {
+			segs = append(segs, pw.data)
+		}
+	}
+	return segs
+}
+
+// segCount is the total gather segments the output needs.
+func (o *output) segCount() int {
+	n := 0
+	for _, pw := range o.entries {
+		n += pw.segCount()
+	}
+	return n
+}
+
+// wireSize is the total payload handed to the NIC.
+func (o *output) wireSize() int {
+	n := 0
+	for _, pw := range o.entries {
+		n += pw.wireSize()
+	}
+	return n
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// The rendezvous protocol. A data wrapper whose payload reaches the
+// driver's threshold is converted, in place in the window, into an RTS
+// control entry (header-only: 24 bytes). The RTS is aggregable like any
+// wrapper — this is how the §5.3 datatype strategy ships the rendezvous
+// requests of the large blocks together with the small blocks in one
+// physical packet. When the receiver has a matching posted receive it
+// answers with a CTS, and the sender streams the body: zero-copy RDMA on
+// capable rails, eager chunk entries into the registered landing buffer
+// otherwise, possibly split across several rails by the strategy.
+
+// rdvSend is the sender-side state of one rendezvous transaction.
+type rdvSend struct {
+	id   uint32
+	gate *Gate
+	tag  Tag
+	seq  SeqNum
+	body []byte
+	req  *SendRequest
+	left int // chunks not yet fully sent
+}
+
+// rdvKey identifies a receiver-side transaction: rendezvous ids are
+// sender-local, so the peer disambiguates.
+type rdvKey struct {
+	src simnet.NodeID
+	id  uint32
+}
+
+// rdvRecv is the receiver-side state of one rendezvous transaction.
+type rdvRecv struct {
+	req       *rdvRecvReq
+	remaining int
+	total     int
+}
+
+// rdvRecvReq narrows what the body path needs from a receive request.
+type rdvRecvReq = RecvRequest
+
+// defaultBodyChunkNonRDMA bounds eager body chunks when the driver
+// reports no usable threshold.
+const defaultBodyChunkNonRDMA = 64 << 10
+
+// convertToRTS swaps a data wrapper for a rendezvous request in place.
+func (e *Engine) convertToRTS(pw *packet) *packet {
+	if pw.flags&FlagNeedAck != 0 {
+		// The rendezvous handshake already implies a receiver-side match,
+		// so the explicit ack is redundant: release its completion unit.
+		if req, ok := e.syncAcks[pw.aux]; ok {
+			delete(e.syncAcks, pw.aux)
+			req.doneOne()
+		}
+		pw.flags &^= FlagNeedAck
+		pw.aux = 0
+	}
+	e.nextRdvID++
+	id := e.nextRdvID
+	rts := &packet{
+		gate:   pw.gate,
+		kind:   kindRTS,
+		flags:  pw.flags,
+		tag:    pw.tag,
+		seq:    pw.seq,
+		size:   uint32(len(pw.data)),
+		aux:    id,
+		driver: pw.driver,
+		req:    pw.req,
+	}
+	e.rdvSend[id] = &rdvSend{
+		id:   id,
+		gate: pw.gate,
+		tag:  pw.tag,
+		seq:  pw.seq,
+		body: pw.data,
+		req:  pw.req,
+	}
+	if !pw.gate.win.replace(pw, rts) {
+		panic("core: rendezvous conversion of a wrapper not in the window")
+	}
+	e.stats.RdvStarted++
+	e.traceEvent(trace.RdvStart, pw.gate.peer, -1, pw.tag, len(pw.data), 0, "")
+	return rts
+}
+
+// acceptRdv runs when an RTS matches a posted receive: record the
+// transaction and grant it.
+func (e *Engine) acceptRdv(g *Gate, r *RecvRequest, h header) {
+	key := rdvKey{src: g.peer, id: h.aux}
+	if _, dup := e.rdvRecv[key]; dup {
+		panic(fmt.Sprintf("core: duplicate rendezvous %v", key))
+	}
+	e.rdvRecv[key] = &rdvRecv{req: r, remaining: int(h.length), total: int(h.length)}
+	e.traceEvent(trace.RdvGrant, g.peer, -1, h.tag, int(h.length), 0, "")
+	g.pushCtrl(kindCTS, h.tag, h.length, h.aux)
+}
+
+// onCTS runs on the original sender when the grant arrives: plan the body
+// over the rails and stream it.
+func (e *Engine) onCTS(h header) {
+	rs, ok := e.rdvSend[h.aux]
+	if !ok {
+		panic(fmt.Sprintf("core: CTS for unknown rendezvous %d", h.aux))
+	}
+	e.startBody(rs)
+}
+
+// startBody distributes the body per the strategy's plan and arranges
+// completion accounting.
+func (e *Engine) startBody(rs *rdvSend) {
+	size := len(rs.body)
+	var plan []BodyShare
+	if bp, ok := e.strat.(BodyPlanner); ok && len(e.drvs) > 1 {
+		plan = bp.PlanBody(e, size)
+	} else {
+		plan = singleRailPlan(e, size)
+	}
+
+	type chunk struct {
+		drv      int
+		off, len int
+		rdma     bool
+	}
+	var chunks []chunk
+	for _, share := range plan {
+		if share.Size <= 0 {
+			continue
+		}
+		caps := e.drvs[share.Driver].Caps()
+		csize := share.Size
+		if caps.RDMA {
+			if e.opts.BodyChunk > 0 && e.opts.BodyChunk < csize {
+				csize = e.opts.BodyChunk
+			}
+		} else {
+			csize = caps.RdvThreshold
+			if csize <= 0 {
+				csize = defaultBodyChunkNonRDMA
+			}
+		}
+		for off := share.Offset; off < share.Offset+share.Size; off += csize {
+			end := off + csize
+			if end > share.Offset+share.Size {
+				end = share.Offset + share.Size
+			}
+			chunks = append(chunks, chunk{drv: share.Driver, off: off, len: end - off, rdma: caps.RDMA})
+		}
+	}
+	if len(chunks) == 0 {
+		// Zero-length body: nothing to stream, retire the wrapper.
+		rs.req.doneOne()
+		e.stats.RdvCompleted++
+		delete(e.rdvSend, rs.id)
+		return
+	}
+
+	rs.req.add(len(chunks))
+	rs.left = len(chunks)
+	retire := func() {
+		rs.left--
+		if rs.left == 0 {
+			e.stats.RdvCompleted++
+			delete(e.rdvSend, rs.id)
+		}
+	}
+
+	for _, c := range chunks {
+		data := rs.body[c.off : c.off+c.len]
+		e.stats.BodyBytes += int64(c.len)
+		if c.rdma {
+			e.stats.PerDriverBytes[c.drv] += int64(c.len)
+			aux := uint64(rs.id)<<32 | uint64(uint32(c.off))
+			req := rs.req
+			drv := c.drv
+			size := c.len
+			t0 := e.world.Now()
+			err := e.drvs[c.drv].Send(rs.gate.peer, simnet.TxRdma, [][]byte{data}, aux, func() {
+				e.samplers[drv].observe(size, e.world.Now()-t0)
+				req.doneOne()
+				retire()
+			})
+			if err != nil {
+				panic("core: rendezvous body submit failed: " + err.Error())
+			}
+			continue
+		}
+		// Non-RDMA rail: the chunk flows through the window as an eager
+		// entry bound for the registered landing buffer.
+		pw := &packet{
+			gate:   rs.gate,
+			kind:   kindChunk,
+			flags:  FlagUnordered,
+			tag:    rs.tag,
+			seq:    SeqNum(uint32(c.off)), // chunk offset rides the seq field
+			data:   data,
+			size:   uint32(c.len),
+			aux:    rs.id,
+			driver: c.drv,
+			req:    rs.req, // feed retires one unit per chunk entry
+			onSent: retire,
+		}
+		e.submit(pw)
+	}
+	// Retire the unit the original Isend registered, now that the chunk
+	// units carry the completion.
+	rs.req.doneOne()
+	e.pumpAll()
+}
+
+// onBody places an arriving body fragment (zero-copy: no host copy is
+// charged; RDMA and GM-style rendezvous land directly in the registered
+// buffer).
+func (e *Engine) onBody(src simnet.NodeID, id uint32, offset int, data []byte) {
+	key := rdvKey{src: src, id: id}
+	rr, ok := e.rdvRecv[key]
+	if !ok {
+		panic(fmt.Sprintf("core: body fragment for unknown rendezvous %v", key))
+	}
+	r := rr.req
+	if offset < len(r.buf) {
+		copy(r.buf[offset:], data)
+	}
+	rr.remaining -= len(data)
+	if rr.remaining < 0 {
+		panic(fmt.Sprintf("core: rendezvous %v over-delivered", key))
+	}
+	e.traceEvent(trace.RdvBody, src, -1, r.tag, len(data), 0, "")
+	if rr.remaining == 0 {
+		delete(e.rdvRecv, key)
+		var err error
+		r.n = rr.total
+		if rr.total > len(r.buf) {
+			r.n = len(r.buf)
+			err = ErrTruncated
+		}
+		r.complete(err)
+	}
+}

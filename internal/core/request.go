@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Request errors.
+var (
+	ErrTruncated = errors.New("core: message longer than the receive buffer")
+)
+
+// request is the completion state shared by send and receive requests.
+// Completion is signalled through the engine-wide condition variable;
+// simulated processes block in Wait, engine callbacks never block.
+type request struct {
+	eng  *Engine
+	done bool
+	err  error
+}
+
+// Done reports whether the request has completed.
+func (r *request) Done() bool { return r.done }
+
+// Err returns the completion error, nil while in flight or on success.
+func (r *request) Err() error { return r.err }
+
+// Test is the non-blocking completion probe of the paper's API set
+// (isend/irecv/wait/test): it reports completion without blocking.
+func (r *request) Test() bool { return r.done }
+
+// Wait blocks the process until the request completes and returns the
+// completion error.
+func (r *request) Wait(p *sim.Proc) error {
+	for !r.done {
+		r.eng.cond.Wait(p)
+	}
+	return r.err
+}
+
+// complete finalizes the request and wakes every waiter.
+func (r *request) complete(err error) {
+	if r.done {
+		return
+	}
+	r.done = true
+	r.err = err
+	r.eng.cond.Broadcast()
+}
+
+// SendRequest tracks one submitted message (one wrapper for Isend;
+// several for a packed message). It completes when the NIC has finished
+// with every wrapper — for rendezvous sends, when the whole body has
+// streamed out.
+type SendRequest struct {
+	request
+	tag     Tag
+	bytes   int
+	pending int // wrappers (or body chunks) still in flight
+}
+
+// Tag returns the flow tag of the send.
+func (r *SendRequest) Tag() Tag { return r.tag }
+
+// Bytes returns the total payload size of the send.
+func (r *SendRequest) Bytes() int { return r.bytes }
+
+// add registers n more in-flight units on the request.
+func (r *SendRequest) add(n int) { r.pending += n }
+
+// doneOne retires one in-flight unit, completing the request at zero.
+func (r *SendRequest) doneOne() {
+	r.pending--
+	if r.pending == 0 {
+		r.complete(nil)
+	}
+	if r.pending < 0 {
+		panic("core: send request over-completed")
+	}
+}
+
+// RecvRequest is a posted receive. It matches incoming wrappers by
+// (tag & Mask) == Want, in arrival order, FIFO against other posted
+// receives of the same gate.
+type RecvRequest struct {
+	request
+	want Tag
+	mask Tag
+	buf  []byte
+
+	matched bool
+	n       int
+	tag     Tag
+	src     simnet.NodeID
+}
+
+// N returns the received payload size (valid once Done).
+func (r *RecvRequest) N() int { return r.n }
+
+// Tag returns the tag of the matched message (valid once matched; useful
+// with masked receives).
+func (r *RecvRequest) Tag() Tag { return r.tag }
+
+// Source returns the sending node (valid once matched).
+func (r *RecvRequest) Source() simnet.NodeID { return r.src }
+
+// matches reports whether an incoming tag satisfies this receive.
+func (r *RecvRequest) matchesTag(tag Tag) bool { return tag&r.mask == r.want }

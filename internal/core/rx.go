@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// Receive path: physical packets arrive from the transfer layer, are
+// split back into wrappers, resequenced per flow (the optimizer may have
+// sent them out of order or over different rails), and matched against
+// posted receives — or parked on the unexpected queue.
+
+// rxFlow is the resequencing state of one (gate, tag) flow.
+type rxFlow struct {
+	next SeqNum
+	held map[SeqNum]*inEntry
+}
+
+// inEntry is one arrived wrapper awaiting resequencing or matching.
+type inEntry struct {
+	h       header
+	payload []byte
+	at      sim.Time
+}
+
+// flow returns (creating on demand) the resequencing state for a tag.
+func (g *Gate) flow(tag Tag) *rxFlow {
+	f := g.flows[tag]
+	if f == nil {
+		f = &rxFlow{held: make(map[SeqNum]*inEntry)}
+		g.flows[tag] = f
+	}
+	return f
+}
+
+// onDelivery is the engine's receive entry point, bound to every driver
+// at Attach time.
+func (e *Engine) onDelivery(drv int, d simnet.Delivery) {
+	e.traceEvent(trace.Arrive, d.Src, drv, 0, len(d.Data), 0, d.Kind.String())
+	if d.Kind == simnet.TxRdma {
+		id := uint32(d.Aux >> 32)
+		off := int(uint32(d.Aux))
+		e.onBody(d.Src, id, off, d.Data)
+		return
+	}
+	err := walkEntries(d.Data, func(h header, payload []byte) error {
+		e.dispatch(d.Src, h, payload)
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: corrupt packet train from node %d on rail %d: %v", d.Src, drv, err))
+	}
+}
+
+// dispatch routes one wrapper by kind, applying flow resequencing to
+// ordered kinds.
+func (e *Engine) dispatch(src simnet.NodeID, h header, payload []byte) {
+	g := e.Gate(src)
+	switch h.kind {
+	case kindCTS:
+		e.onCTS(h)
+	case kindChunk:
+		e.onBody(src, h.aux, int(uint32(h.seq)), payload)
+	case kindAck:
+		e.onAck(h.aux)
+	case kindData, kindRTS:
+		if h.flags&FlagUnordered != 0 {
+			e.deliver(g, h, payload)
+			return
+		}
+		f := g.flow(h.tag)
+		switch {
+		case h.seq == f.next:
+			e.deliver(g, h, payload)
+			f.next++
+			for {
+				ent, ok := f.held[f.next]
+				if !ok {
+					break
+				}
+				delete(f.held, f.next)
+				e.deliver(g, ent.h, ent.payload)
+				f.next++
+			}
+		case h.seq > f.next:
+			f.held[h.seq] = &inEntry{h: h, payload: payload, at: e.world.Now()}
+			e.stats.Reordered++
+		default:
+			panic(fmt.Sprintf("core: duplicate wrapper (gate %d, tag %#x, seq %d)", src, h.tag, h.seq))
+		}
+	default:
+		panic("core: dispatch of unknown kind " + h.kind.String())
+	}
+}
+
+// deliver matches one in-order wrapper against the posted receives, or
+// parks it on the unexpected queue.
+func (e *Engine) deliver(g *Gate, h header, payload []byte) {
+	for i, r := range g.posted {
+		if r.matchesTag(h.tag) {
+			g.posted = append(g.posted[:i], g.posted[i+1:]...)
+			e.consume(g, r, h, payload)
+			return
+		}
+	}
+	g.unexpected = append(g.unexpected, &inEntry{h: h, payload: payload, at: e.world.Now()})
+	e.stats.Unexpected++
+	e.traceEvent(trace.Unexpected, g.peer, -1, h.tag, len(payload), 0, h.kind.String())
+	e.cond.Broadcast() // wake probers
+}
+
+// matchUnexpected looks for an already-arrived wrapper satisfying a newly
+// posted receive (FIFO over arrival order).
+func (g *Gate) matchUnexpected(r *RecvRequest) bool {
+	for i, ent := range g.unexpected {
+		if r.matchesTag(ent.h.tag) {
+			g.unexpected = append(g.unexpected[:i], g.unexpected[i+1:]...)
+			g.eng.consume(g, r, ent.h, ent.payload)
+			return true
+		}
+	}
+	return false
+}
+
+// consume finishes the match: eager payloads are copied into the user
+// buffer (the memcpy is charged to the host), rendezvous requests are
+// granted.
+func (e *Engine) consume(g *Gate, r *RecvRequest, h header, payload []byte) {
+	r.matched = true
+	r.tag = h.tag
+	r.src = g.peer
+	e.traceEvent(trace.Deliver, g.peer, -1, h.tag, len(payload), 0, h.kind.String())
+	switch h.kind {
+	case kindData:
+		n := copy(r.buf, payload)
+		r.n = n
+		var err error
+		if len(payload) > len(r.buf) {
+			err = ErrTruncated
+		}
+		if h.flags&FlagNeedAck != 0 {
+			// Synchronous send: tell the sender the match happened. The
+			// ack rides the window like any wrapper and may aggregate
+			// with outbound data.
+			g.pushCtrl(kindAck, h.tag, 0, h.aux)
+		}
+		e.world.After(e.node.CopyCost(n), func() { r.complete(err) })
+	case kindRTS:
+		e.acceptRdv(g, r, h)
+	default:
+		panic("core: consume of non-matchable kind " + h.kind.String())
+	}
+}
+
+// onAck retires the synchronous-completion unit of a send.
+func (e *Engine) onAck(id uint32) {
+	req, ok := e.syncAcks[id]
+	if !ok {
+		panic(fmt.Sprintf("core: ack for unknown synchronous send %d", id))
+	}
+	delete(e.syncAcks, id)
+	req.doneOne()
+}

@@ -1,0 +1,47 @@
+package core
+
+// Stats counts what the optimizer did. The aggregation and piggyback
+// counters are the observable evidence of the paper's claims: packets
+// from different logical flows sharing physical packets, and rendezvous
+// control riding along with unrelated data.
+type Stats struct {
+	// Submitted counts packet wrappers entering the collect layer.
+	Submitted int
+	// OutputPackets counts physical packets handed to the transfer layer.
+	OutputPackets int
+	// EntriesSent counts wrappers carried by those packets.
+	EntriesSent int
+	// AggregatedPackets counts output packets carrying two or more
+	// wrappers.
+	AggregatedPackets int
+	// MaxEntriesPerPacket is the largest train synthesized so far.
+	MaxEntriesPerPacket int
+	// CtrlPiggybacked counts rendezvous control entries that shared a
+	// physical packet with at least one data entry.
+	CtrlPiggybacked int
+	// RdvStarted / RdvCompleted count rendezvous transactions on the
+	// sending side.
+	RdvStarted   int
+	RdvCompleted int
+	// EagerBytes is application payload sent through the eager path;
+	// BodyBytes is payload streamed as rendezvous bodies.
+	EagerBytes int64
+	BodyBytes  int64
+	// PerDriverBytes splits (payload) traffic by rail.
+	PerDriverBytes []int64
+	// Reordered counts wrappers that arrived ahead of their flow order
+	// and waited in the resequencing buffer.
+	Reordered int
+	// Unexpected counts wrappers that arrived before a matching receive
+	// was posted.
+	Unexpected int
+}
+
+// AggregationRatio is entries per output packet; 1.0 means the optimizer
+// never found anything to coalesce.
+func (s Stats) AggregationRatio() float64 {
+	if s.OutputPackets == 0 {
+		return 0
+	}
+	return float64(s.EntriesSent) / float64(s.OutputPackets)
+}

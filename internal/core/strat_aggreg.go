@@ -1,0 +1,73 @@
+package core
+
+import "nmad/internal/drivers"
+
+// aggregStrategy is the paper's aggregation strategy (§4): it
+// "accumulates communication requests as long as the cumulated length
+// does not require to switch to the rendez-vous protocol". On top of the
+// plain accumulation it applies the two reorderings the paper describes:
+//
+//   - control and priority wrappers move to the front of the train, so a
+//     rendezvous request (or an RPC service id) never waits behind bulk
+//     data;
+//   - small wrappers may be pulled past ones that do not fit, maximizing
+//     the number of aggregation operations (§7: "reordered to maximize
+//     the number of aggregation operations"). The receiver's resequencing
+//     buffer restores per-flow order.
+//
+// This is also the §5.3 datatype optimization: the small blocks of an
+// indexed datatype coalesce with the rendezvous requests of the large
+// blocks into a single physical packet.
+type aggregStrategy struct{}
+
+func (aggregStrategy) Name() string { return "aggreg" }
+
+func (aggregStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
+	limit := caps.RdvThreshold
+	maxSegs := caps.MaxSegments
+
+	var ctrl, data []*packet
+	bytes, segs := 0, 0
+	fits := func(pw *packet) bool {
+		return segs+pw.segCount() <= maxSegs && bytes+pw.wireSize() <= limit
+	}
+	pick := func(pw *packet, into *[]*packet) {
+		*into = append(*into, pw)
+		segs += pw.segCount()
+		bytes += pw.wireSize()
+	}
+
+	// Pass 1: control and priority wrappers, in order.
+	g.win.scan(driver, func(pw *packet) bool {
+		if pw.prio() && fits(pw) {
+			pick(pw, &ctrl)
+		}
+		return segs < maxSegs
+	})
+
+	// Pass 2: data wrappers in order, scanning past misfits (reordering).
+	g.win.scan(driver, func(pw *packet) bool {
+		if pw.prio() {
+			return true // already considered
+		}
+		if fits(pw) {
+			pick(pw, &data)
+		}
+		return segs < maxSegs
+	})
+
+	entries := append(ctrl, data...)
+	if len(entries) == 0 {
+		// Guarantee progress: a lone wrapper larger than the aggregation
+		// limit (a rendezvous body chunk on a non-RDMA rail) still goes
+		// out, alone.
+		g.win.scan(driver, func(pw *packet) bool {
+			entries = append(entries, pw)
+			return false
+		})
+		if len(entries) == 0 {
+			return nil
+		}
+	}
+	return &output{entries: entries}
+}

@@ -1,0 +1,23 @@
+package core
+
+import "nmad/internal/drivers"
+
+// defaultStrategy is the no-optimization reference: strict FIFO, one
+// wrapper per physical packet, no aggregation, no reordering. It is the
+// ablation baseline showing what the engine costs without its window —
+// roughly how the synchronous libraries of the paper's §2 behave.
+type defaultStrategy struct{}
+
+func (defaultStrategy) Name() string { return "default" }
+
+func (defaultStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
+	var head *packet
+	g.win.scan(driver, func(pw *packet) bool {
+		head = pw
+		return false
+	})
+	if head == nil {
+		return nil
+	}
+	return &output{entries: []*packet{head}}
+}

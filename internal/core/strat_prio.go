@@ -1,0 +1,36 @@
+package core
+
+import "nmad/internal/drivers"
+
+// prioStrategy favors the earliest possible delivery of priority
+// wrappers: the paper's motivating RPC case, where the service id must
+// arrive before the arguments so the receiver can prepare the data areas.
+// It aggregates like aggregStrategy, but a priority wrapper preempts the
+// train entirely — the output carries the priority wrappers and nothing
+// else, so no bulk payload delays them on the wire.
+type prioStrategy struct {
+	fallback aggregStrategy
+}
+
+func (prioStrategy) Name() string { return "prio" }
+
+func (s *prioStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
+	var urgent []*packet
+	segs, bytes := 0, 0
+	g.win.scan(driver, func(pw *packet) bool {
+		if !pw.prio() {
+			return true
+		}
+		if segs+pw.segCount() > caps.MaxSegments || bytes+pw.wireSize() > caps.RdvThreshold {
+			return false
+		}
+		urgent = append(urgent, pw)
+		segs += pw.segCount()
+		bytes += pw.wireSize()
+		return true
+	})
+	if len(urgent) > 0 {
+		return &output{entries: urgent}
+	}
+	return s.fallback.Elect(g, driver, caps)
+}

@@ -1,0 +1,60 @@
+package core
+
+// splitStrategy is the paper's multi-rails strategy (§4): it "balances
+// the communication flow over the set of available NICs, possibly by
+// splitting messages in a heterogeneous manner if necessary". Election
+// behaves like the aggregation strategy (the common submission list
+// already load-balances small traffic onto whichever rail idles first);
+// the multi-rail work happens on rendezvous bodies, which are split
+// across every rail proportionally to nominal bandwidth.
+type splitStrategy struct {
+	aggregStrategy
+}
+
+func (splitStrategy) Name() string { return "split" }
+
+// minShare is the smallest body slice worth a dedicated rail transaction;
+// below it the per-transaction costs eat the parallelism.
+const minShare = 4 << 10
+
+// PlanBody implements BodyPlanner with bandwidth-proportional shares.
+// Proportions use the sampled (functional) bandwidth of each rail when
+// the sampler has warmed up, the nominal capability figure before that.
+func (splitStrategy) PlanBody(e *Engine, size int) []BodyShare {
+	type rail struct {
+		idx int
+		bw  float64
+	}
+	var rails []rail
+	var total float64
+	for i := range e.drvs {
+		bw := e.railBandwidth(i)
+		rails = append(rails, rail{idx: i, bw: bw})
+		total += bw
+	}
+	if len(rails) == 1 || size < 2*minShare {
+		return singleRailPlan(e, size)
+	}
+	var plan []BodyShare
+	off := 0
+	for i, r := range rails {
+		var share int
+		if i == len(rails)-1 {
+			share = size - off // exact cover, absorb rounding
+		} else {
+			share = int(float64(size) * r.bw / total)
+			share = min(share, size-off)
+		}
+		if share <= 0 {
+			continue
+		}
+		plan = append(plan, BodyShare{Driver: r.idx, Offset: off, Size: share})
+		off += share
+	}
+	if off != size {
+		// All rounding ended up dropping bytes; give the remainder to the
+		// fastest rail.
+		plan = append(plan, BodyShare{Driver: bestRail(e), Offset: off, Size: size - off})
+	}
+	return plan
+}

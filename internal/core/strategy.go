@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nmad/internal/drivers"
+)
+
+// Strategy is the paper's pluggable optimization function (§3.2): when a
+// rail idles, the scheduler asks the strategy to elect the next request —
+// a packet taken from the optimization window, or one synthesized out of
+// several wrappers from that window. A strategy sees, through the gate
+// and the capability report, the inputs the paper lists: the number of
+// packets in the window, each packet's characteristics (destination, flow
+// tag, length, sequence number, flags), and the nominal characteristics
+// of the underlying network.
+//
+// Elect must not keep references to the returned output's entries; the
+// engine removes them from the window and hands them to the NIC.
+type Strategy interface {
+	// Name identifies the strategy in the registry.
+	Name() string
+	// Elect synthesizes the next physical packet for the given rail out
+	// of the gate's window, or returns nil to leave the rail idle.
+	// Oversized data wrappers have already been converted to rendezvous
+	// requests by the engine before Elect runs.
+	Elect(g *Gate, driver int, caps drivers.Caps) *output
+}
+
+// BodyPlanner is implemented by strategies that control how a rendezvous
+// body is distributed over the rails (the paper's multi-rail splitting,
+// "possibly in a heterogeneous manner"). Strategies without it stream the
+// body over the best single rail.
+type BodyPlanner interface {
+	// PlanBody splits size bytes into per-rail shares. Shares must cover
+	// [0, size) exactly, in ascending offset order.
+	PlanBody(e *Engine, size int) []BodyShare
+}
+
+// BodyShare is one rail's slice of a rendezvous body.
+type BodyShare struct {
+	Driver int
+	Offset int
+	Size   int
+}
+
+// The strategy registry — the paper's "extensible and programmable set of
+// strategies", selectable by name at engine construction.
+var strategyRegistry = map[string]func() Strategy{}
+
+// RegisterStrategy adds a constructor to the registry. Registering a
+// duplicate name panics: strategy names are global configuration keys.
+func RegisterStrategy(name string, mk func() Strategy) {
+	if _, dup := strategyRegistry[name]; dup {
+		panic("core: duplicate strategy " + name)
+	}
+	strategyRegistry[name] = mk
+}
+
+// NewStrategy instantiates a registered strategy by name.
+func NewStrategy(name string) (Strategy, error) {
+	mk, ok := strategyRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown strategy %q (have %v)", name, StrategyNames())
+	}
+	return mk(), nil
+}
+
+// StrategyNames lists the registered strategies in sorted order.
+func StrategyNames() []string {
+	names := make([]string, 0, len(strategyRegistry))
+	for n := range strategyRegistry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterStrategy("default", func() Strategy { return &defaultStrategy{} })
+	RegisterStrategy("aggreg", func() Strategy { return &aggregStrategy{} })
+	RegisterStrategy("split", func() Strategy { return &splitStrategy{} })
+	RegisterStrategy("prio", func() Strategy { return &prioStrategy{} })
+}

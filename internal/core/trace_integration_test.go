@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// The trace recorder hooked into a real exchange must tell the paper's
+// story: submissions accumulate, one election produces a multi-entry
+// train, rendezvous control piggybacks, the body streams.
+func TestTraceRecordsTheWholeProtocol(t *testing.T) {
+	rec := trace.NewRecorder()
+	opts := DefaultOptions()
+	opts.Tracer = rec
+	w, e0, e1 := testWorldMixed(t, opts, DefaultOptions()) // trace the sender only
+
+	big := make([]byte, 256<<10)
+	w.Spawn("send", func(p *sim.Proc) {
+		e0.Gate(1).Isend(p, 1, []byte("occupy the NIC"))
+		e0.Gate(1).Isend(p, 2, big)
+		for i := 0; i < 3; i++ {
+			e0.Gate(1).Isend(p, Tag(10+i), make([]byte, 64))
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		reqs := []*RecvRequest{
+			e1.Gate(0).Irecv(p, 1, make([]byte, 32)),
+			e1.Gate(0).Irecv(p, 2, make([]byte, len(big))),
+		}
+		for i := 0; i < 3; i++ {
+			reqs = append(reqs, e1.Gate(0).Irecv(p, Tag(10+i), make([]byte, 64)))
+		}
+		for _, r := range reqs {
+			if err := r.Wait(p); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	run(t, w)
+
+	if rec.Count(trace.Submit) != 5 {
+		t.Errorf("Submit events = %d, want 5", rec.Count(trace.Submit))
+	}
+	if rec.Count(trace.RdvStart) != 1 {
+		t.Errorf("RdvStart events = %d, want 1 (the 256KB send)", rec.Count(trace.RdvStart))
+	}
+	if rec.Count(trace.Elect) == 0 || rec.Count(trace.Depart) != rec.Count(trace.Elect) {
+		t.Errorf("Elect=%d Depart=%d: every election must depart", rec.Count(trace.Elect), rec.Count(trace.Depart))
+	}
+	// At least one election must have aggregated several wrappers.
+	multi := false
+	for _, ev := range rec.Filter(trace.Elect) {
+		if ev.Entries > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("no multi-entry election traced; the window never aggregated")
+	}
+	// The sender also receives: the CTS arrives as a packet.
+	if rec.Count(trace.Arrive) == 0 {
+		t.Error("no arrivals traced on the sender (the CTS must come back)")
+	}
+	// Chronological order.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatalf("trace out of order at %d: %v after %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+}
+
+func TestTraceReceiverSide(t *testing.T) {
+	rec := trace.NewRecorder()
+	ropts := DefaultOptions()
+	ropts.Tracer = rec
+	w2, s, r := testWorldMixed(t, DefaultOptions(), ropts)
+	big := make([]byte, 128<<10)
+	w2.Spawn("send", func(p *sim.Proc) {
+		if err := s.Gate(1).Send(p, 9, big); err != nil {
+			t.Error(err)
+		}
+	})
+	w2.Spawn("recv", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond) // let the RTS land unexpected
+		if _, err := r.Gate(0).Recv(p, 9, make([]byte, len(big))); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, w2)
+	if rec.Count(trace.Unexpected) != 1 {
+		t.Errorf("Unexpected events = %d, want 1 (the early RTS)", rec.Count(trace.Unexpected))
+	}
+	if rec.Count(trace.RdvGrant) != 1 {
+		t.Errorf("RdvGrant events = %d, want 1", rec.Count(trace.RdvGrant))
+	}
+	if rec.Count(trace.RdvBody) == 0 {
+		t.Error("no RdvBody events; the body never streamed")
+	}
+	if rec.Count(trace.Deliver) != 1 {
+		t.Errorf("Deliver events = %d, want 1 (the RTS match)", rec.Count(trace.Deliver))
+	}
+}
+
+// testWorldMixed builds a two-node MX world with per-node options.
+func testWorldMixed(t *testing.T, opts0, opts1 Options) (*sim.World, *Engine, *Engine) {
+	t.Helper()
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id simnet.NodeID, opts Options) *Engine {
+		e, err := New(f, id, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AttachFabric(f); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return w, mk(0, opts0), mk(1, opts1)
+}

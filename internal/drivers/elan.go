@@ -1,0 +1,17 @@
+package drivers
+
+import "nmad/internal/simnet"
+
+// Elan is the Quadrics QsNetII (Elan4/QM500) port — the paper's second
+// evaluation network. Elan offers native put/get RDMA and a moderate
+// gather list; small transactions go out through the fast PIO ("STEN")
+// path, large bodies through the DMA engine.
+type Elan struct{ *base }
+
+// NewElan binds the port to the given node's NIC on net. The network must
+// use the qsnet2 profile.
+func NewElan(net *simnet.Network, node simnet.NodeID) *Elan {
+	nic := net.NIC(node)
+	p := nic.Profile()
+	return &Elan{base: newBase("elan", nic, capsFrom(p, p.MaxSegments), 0)}
+}

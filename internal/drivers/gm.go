@@ -1,0 +1,25 @@
+package drivers
+
+import "nmad/internal/simnet"
+
+// GM is the Myrinet-2000 port using the GM driver — the generation before
+// MX. GM's gather list has only two entries, so the port advertises a
+// larger software limit and flattens longer gather lists into a bounce
+// buffer, charging the memcpy to the host. GM has no general RDMA, so the
+// engine streams rendezvous bodies as eager chunk packets into the
+// pre-registered landing buffer.
+type GM struct{ *base }
+
+// gmSoftSegments is the gather capacity GM advertises to the engine;
+// anything beyond the NIC's native two entries goes through the bounce
+// path.
+const gmSoftSegments = 32
+
+// NewGM binds the port to the given node's NIC on net. The network must
+// use the gm2000 profile.
+func NewGM(net *simnet.Network, node simnet.NodeID) *GM {
+	nic := net.NIC(node)
+	p := nic.Profile()
+	caps := capsFrom(p, gmSoftSegments)
+	return &GM{base: newBase("gm", nic, caps, gmSoftSegments)}
+}

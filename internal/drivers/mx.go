@@ -1,0 +1,18 @@
+package drivers
+
+import "nmad/internal/simnet"
+
+// MX is the Myrinet EXpress port for Myri-10G — the paper's primary
+// evaluation network. MX exposes a native gather list and RDMA, so every
+// engine request maps directly onto one NIC call; the rendezvous
+// threshold reported by the driver (32 KiB, MX's eager limit) is the
+// aggregation cap the paper's strategy uses.
+type MX struct{ *base }
+
+// NewMX binds the port to the given node's NIC on net. The network must
+// use the mx10g profile.
+func NewMX(net *simnet.Network, node simnet.NodeID) *MX {
+	nic := net.NIC(node)
+	p := nic.Profile()
+	return &MX{base: newBase("mx", nic, capsFrom(p, p.MaxSegments), 0)}
+}

@@ -1,0 +1,23 @@
+package drivers
+
+import "nmad/internal/simnet"
+
+// SISCIDriver is the Dolphin SCI port using the SISCI API. SCI moves data
+// by PIO writes into a remotely mapped window, strictly contiguously, so
+// every multi-segment packet is flattened through a bounce buffer (the
+// memcpy is charged to the host). Remote-window placement counts as RDMA
+// for rendezvous purposes.
+type SISCIDriver struct{ *base }
+
+// sisciSoftSegments is the gather capacity advertised to the engine; the
+// hardware itself accepts only contiguous buffers.
+const sisciSoftSegments = 32
+
+// NewSISCI binds the port to the given node's NIC on net. The network
+// must use the sisci profile.
+func NewSISCI(net *simnet.Network, node simnet.NodeID) *SISCIDriver {
+	nic := net.NIC(node)
+	p := nic.Profile()
+	caps := capsFrom(p, sisciSoftSegments)
+	return &SISCIDriver{base: newBase("sisci", nic, caps, sisciSoftSegments)}
+}

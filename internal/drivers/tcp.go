@@ -1,0 +1,16 @@
+package drivers
+
+import "nmad/internal/simnet"
+
+// TCP is the Ethernet fallback port through the kernel TCP stack. writev
+// provides a gather list; there is no RDMA, so rendezvous bodies stream
+// as eager chunk packets, and latency is dominated by the kernel path.
+type TCP struct{ *base }
+
+// NewTCP binds the port to the given node's NIC on net. The network must
+// use the tcp profile.
+func NewTCP(net *simnet.Network, node simnet.NodeID) *TCP {
+	nic := net.NIC(node)
+	p := nic.Profile()
+	return &TCP{base: newBase("tcp", nic, capsFrom(p, p.MaxSegments), 0)}
+}

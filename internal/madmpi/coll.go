@@ -1,0 +1,127 @@
+package madmpi
+
+import (
+	"fmt"
+
+	"nmad/internal/sim"
+)
+
+// Minimal collectives. The paper's MAD-MPI is a point-to-point subset;
+// these exist so the examples and tests can synchronize without
+// hand-rolling trees. They are built strictly on the nonblocking
+// point-to-point layer, like early MPICH collectives.
+//
+// Collective calls must be made by every rank of the communicator, in the
+// same order — the usual MPI contract. A per-communicator collective
+// sequence number keeps their tags out of the user tag space and distinct
+// across consecutive operations.
+
+// collTagBase starts the collective tag space well above user tags.
+const collTagBase = 1 << 28
+
+// collTag mints the tag for the next collective on this rank. Because
+// collectives are called in the same order everywhere, ranks agree.
+func (c *Comm) collTag() int {
+	c.collSeq++
+	return collTagBase + int(c.collSeq%(1<<20))
+}
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ceil(log2(n)) rounds of exchanges).
+func (c *Comm) Barrier(p *sim.Proc) error {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		return nil
+	}
+	tag := c.collTag()
+	token := []byte{1}
+	buf := make([]byte, 1)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		if _, err := c.Sendrecv(p, token, to, tag, buf, from, tag); err != nil {
+			return fmt.Errorf("madmpi: barrier round %d: %w", dist, err)
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts buf from root to every rank (binomial tree).
+func (c *Comm) Bcast(p *sim.Proc, buf []byte, root int) error {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		return nil
+	}
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: bcast root %d", ErrBadRank, root)
+	}
+	tag := c.collTag()
+	// Rotate so the algorithm always roots at 0.
+	vrank := (me - root + n) % n
+	// Receive from the parent (unless root).
+	if vrank != 0 {
+		mask := 1
+		for mask <= vrank {
+			mask *= 2
+		}
+		mask /= 2
+		parent := ((vrank - mask) + root) % n
+		if _, err := c.Recv(p, buf, parent, tag); err != nil {
+			return fmt.Errorf("madmpi: bcast recv: %w", err)
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask <= vrank {
+		mask *= 2
+	}
+	for ; mask < n; mask *= 2 {
+		child := vrank + mask
+		if child >= n {
+			break
+		}
+		if err := c.Send(p, buf, (child+root)%n, tag); err != nil {
+			return fmt.Errorf("madmpi: bcast send: %w", err)
+		}
+	}
+	return nil
+}
+
+// Gather collects each rank's sendBuf into recvBuf at root (linear
+// algorithm). recvBuf must be size*len(sendBuf) bytes at root and is
+// ignored elsewhere. Every rank must contribute the same length.
+func (c *Comm) Gather(p *sim.Proc, sendBuf, recvBuf []byte, root int) error {
+	n, me := c.Size(), c.Rank()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: gather root %d", ErrBadRank, root)
+	}
+	tag := c.collTag()
+	per := len(sendBuf)
+	if me != root {
+		return c.Send(p, sendBuf, root, tag)
+	}
+	if len(recvBuf) < n*per {
+		return fmt.Errorf("madmpi: gather buffer %d bytes, need %d", len(recvBuf), n*per)
+	}
+	copy(recvBuf[me*per:], sendBuf)
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(p, recvBuf[r*per:(r+1)*per], r, tag))
+	}
+	return Waitall(p, reqs...)
+}
+
+// Allgather is Gather to everyone: each rank ends with every
+// contribution (gather at 0, then broadcast).
+func (c *Comm) Allgather(p *sim.Proc, sendBuf, recvBuf []byte) error {
+	if len(recvBuf) < c.Size()*len(sendBuf) {
+		return fmt.Errorf("madmpi: allgather buffer %d bytes, need %d", len(recvBuf), c.Size()*len(sendBuf))
+	}
+	if err := c.Gather(p, sendBuf, recvBuf, 0); err != nil {
+		return err
+	}
+	return c.Bcast(p, recvBuf[:c.Size()*len(sendBuf)], 0)
+}

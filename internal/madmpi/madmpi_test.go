@@ -1,0 +1,493 @@
+package madmpi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// job spawns size ranks over an MX fabric and runs body on each.
+func job(t *testing.T, size int, body func(p *sim.Proc, m *MPI)) {
+	t.Helper()
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, size, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < size; i++ {
+		m, err := Init(f, simnet.NodeID(i), core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Spawn("rank", func(p *sim.Proc) { body(p, m) })
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitRankSize(t *testing.T) {
+	job(t, 3, func(p *sim.Proc, m *MPI) {
+		if m.Size() != 3 {
+			t.Errorf("Size = %d, want 3", m.Size())
+		}
+		if r := m.Rank(); r < 0 || r >= 3 {
+			t.Errorf("Rank = %d out of range", r)
+		}
+		if m.CommWorld().Size() != 3 || m.CommWorld().Rank() != m.Rank() {
+			t.Error("world communicator disagrees with the environment")
+		}
+	})
+}
+
+func TestSendRecvBlocking(t *testing.T) {
+	msg := []byte("hello rank one")
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		switch m.Rank() {
+		case 0:
+			if err := c.Send(p, msg, 1, 5); err != nil {
+				t.Error(err)
+			}
+		case 1:
+			buf := make([]byte, 64)
+			st, err := c.Recv(p, buf, 0, 5)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Source != 0 || st.Tag != 5 || st.Count != len(msg) {
+				t.Errorf("status %+v, want {0 5 %d}", st, len(msg))
+			}
+			if !bytes.Equal(buf[:st.Count], msg) {
+				t.Errorf("payload %q", buf[:st.Count])
+			}
+		}
+	})
+}
+
+func TestIsendIrecvWaitTest(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if m.Rank() == 0 {
+			req := c.Isend(p, []byte("async"), 1, 1)
+			if _, err := req.Wait(p); err != nil {
+				t.Error(err)
+			}
+			if !req.Test() {
+				t.Error("Test false after Wait")
+			}
+		} else {
+			buf := make([]byte, 8)
+			req := c.Irecv(p, buf, 0, 1)
+			for !req.Test() {
+				p.Sleep(sim.Microsecond)
+			}
+			st, err := req.Wait(p)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Count != 5 || string(buf[:5]) != "async" {
+				t.Errorf("got %q (%d)", buf[:st.Count], st.Count)
+			}
+		}
+	})
+}
+
+func TestAnyTag(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if m.Rank() == 0 {
+			if err := c.Send(p, []byte("tagged"), 1, 42); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 16)
+			st, err := c.Recv(p, buf, 0, AnyTag)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Tag != 42 {
+				t.Errorf("AnyTag matched tag %d, want 42", st.Tag)
+			}
+		}
+	})
+}
+
+func TestCommunicatorsIsolateTags(t *testing.T) {
+	// Same user tag on two communicators: each receive must match its own
+	// communicator's message.
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		world := m.CommWorld()
+		other := world.Dup()
+		if m.Rank() == 0 {
+			if err := other.Send(p, []byte("on-dup"), 1, 7); err != nil {
+				t.Error(err)
+			}
+			if err := world.Send(p, []byte("on-world"), 1, 7); err != nil {
+				t.Error(err)
+			}
+		} else {
+			bufW := make([]byte, 16)
+			stW, err := world.Recv(p, bufW, 0, 7)
+			if err != nil {
+				t.Error(err)
+			}
+			if string(bufW[:stW.Count]) != "on-world" {
+				t.Errorf("world comm received %q", bufW[:stW.Count])
+			}
+			bufD := make([]byte, 16)
+			stD, err := other.Recv(p, bufD, 0, 7)
+			if err != nil {
+				t.Error(err)
+			}
+			if string(bufD[:stD.Count]) != "on-dup" {
+				t.Errorf("dup comm received %q", bufD[:stD.Count])
+			}
+		}
+	})
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		peer := 1 - m.Rank()
+		out := []byte{byte(m.Rank())}
+		in := make([]byte, 1)
+		if _, err := c.Sendrecv(p, out, peer, 3, in, peer, 3); err != nil {
+			t.Error(err)
+		}
+		if in[0] != byte(peer) {
+			t.Errorf("rank %d received %d, want %d", m.Rank(), in[0], peer)
+		}
+	})
+}
+
+func TestValidationErrors(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if _, err := c.Isend(p, nil, m.Rank(), 0).Wait(p); !errors.Is(err, ErrSelfMessage) {
+			t.Errorf("self send: %v, want ErrSelfMessage", err)
+		}
+		if _, err := c.Isend(p, nil, 99, 0).Wait(p); !errors.Is(err, ErrBadRank) {
+			t.Errorf("bad rank: %v, want ErrBadRank", err)
+		}
+		if _, err := c.Isend(p, nil, 1-m.Rank(), -3).Wait(p); err == nil {
+			t.Error("negative tag must fail")
+		}
+		// Keep the job balanced so neither rank deadlocks.
+		if err := c.Barrier(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestLargeMessageRendezvous(t *testing.T) {
+	big := make([]byte, 2<<20)
+	sim.NewRNG(1).Bytes(big)
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if m.Rank() == 0 {
+			if err := c.Send(p, big, 1, 0); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, len(big))
+			st, err := c.Recv(p, buf, 0, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Count != len(big) || !bytes.Equal(buf, big) {
+				t.Error("2MB rendezvous corrupted")
+			}
+		}
+	})
+}
+
+func TestDatatypeSizeExtent(t *testing.T) {
+	if Byte.Size() != 1 || Int32.Size() != 4 || Int64.Size() != 8 || Float64.Size() != 8 {
+		t.Error("basic type sizes wrong")
+	}
+	c := Contiguous(10, Byte)
+	if c.Size() != 10 || c.Extent() != 10 {
+		t.Errorf("Contiguous(10, Byte): size %d extent %d", c.Size(), c.Extent())
+	}
+	v := Vector(3, 2, 5, Byte) // 3 blocks of 2 bytes every 5 bytes
+	if v.Size() != 6 {
+		t.Errorf("Vector size %d, want 6", v.Size())
+	}
+	if v.Extent() != 15 {
+		t.Errorf("Vector extent %d, want 15", v.Extent())
+	}
+	idx := Indexed([]int{2, 3}, []int{0, 4}, Byte)
+	if idx.Size() != 5 || idx.Extent() != 7 {
+		t.Errorf("Indexed size %d extent %d, want 5/7", idx.Size(), idx.Extent())
+	}
+}
+
+func TestFlattenCoalesces(t *testing.T) {
+	segs := Flatten(Contiguous(100, Byte), 3)
+	if len(segs) != 1 || segs[0] != (Segment{Offset: 0, Len: 300}) {
+		t.Errorf("contiguous flatten = %v, want one 300-byte segment", segs)
+	}
+	v := Vector(4, 8, 16, Byte)
+	segs = Flatten(v, 1)
+	if len(segs) != 4 {
+		t.Fatalf("vector flatten = %v, want 4 blocks", segs)
+	}
+	for i, s := range segs {
+		if s.Offset != i*16 || s.Len != 8 {
+			t.Errorf("block %d = %+v, want {%d 8}", i, s, i*16)
+		}
+	}
+}
+
+func TestFlattenPaperDatatype(t *testing.T) {
+	// The Figure 4 datatype: one small block (64 B) then one large block
+	// (256 KB).
+	small, large := 64, 256<<10
+	dt := Hindexed([]int{small, large}, []int{0, small}, Byte)
+	segs := Flatten(dt, 2)
+	// Adjacent blocks coalesce within an element; the test layout keeps
+	// them adjacent so expect 1 segment per element... unless extent
+	// separates them.
+	total := 0
+	for _, s := range segs {
+		total += s.Len
+	}
+	if total != 2*(small+large) {
+		t.Errorf("flattened %d bytes, want %d", total, 2*(small+large))
+	}
+}
+
+func TestStructDatatype(t *testing.T) {
+	// struct { int32 a; pad 4; float64 b[2] } — 2 fields at displacements
+	// 0 and 8.
+	st := Struct([]int{1, 2}, []int{0, 8}, []Datatype{Int32, Float64})
+	if st.Size() != 4+16 {
+		t.Errorf("struct size %d, want 20", st.Size())
+	}
+	if st.Extent() != 24 {
+		t.Errorf("struct extent %d, want 24", st.Extent())
+	}
+	segs := Flatten(st, 1)
+	if len(segs) != 2 {
+		t.Fatalf("struct flatten %v, want 2 segments", segs)
+	}
+	if segs[0] != (Segment{0, 4}) || segs[1] != (Segment{8, 16}) {
+		t.Errorf("struct segments %v", segs)
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	f := func(seed uint64, nblocks uint8) bool {
+		rng := sim.NewRNG(seed)
+		n := int(nblocks%6) + 2
+		lens := make([]int, n)
+		displs := make([]int, n)
+		at := 0
+		for i := 0; i < n; i++ {
+			lens[i] = rng.Range(1, 40)
+			displs[i] = at
+			at += lens[i] + rng.Range(0, 10) // optional gap
+		}
+		dt := Hindexed(lens, displs, Byte)
+		base := make([]byte, dt.Extent()*2+32)
+		rng.Bytes(base)
+		packed := Pack(base, dt, 2)
+		if len(packed) != dt.Size()*2 {
+			return false
+		}
+		out := make([]byte, len(base))
+		Unpack(packed, out, dt, 2)
+		// Every described byte must round-trip; gaps stay zero.
+		for _, s := range Flatten(dt, 2) {
+			if !bytes.Equal(out[s.Offset:s.Offset+s.Len], base[s.Offset:s.Offset+s.Len]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypedSendRecv(t *testing.T) {
+	// A strided matrix column exchange: rank 0 sends a column, rank 1
+	// receives it into a different stride.
+	const rows, cols = 16, 8
+	col := Vector(rows, 1, cols, Byte) // one column of a row-major matrix
+	src := make([]byte, rows*cols)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if m.Rank() == 0 {
+			if err := c.SendTyped(p, src[3:], col, 1, 1, 0); err != nil { // column 3
+				t.Error(err)
+			}
+		} else {
+			dst := make([]byte, rows*cols)
+			if _, err := c.RecvTyped(p, dst[5:], col, 1, 0, 0); err != nil { // into column 5
+				t.Error(err)
+			}
+			for r := 0; r < rows; r++ {
+				want := byte(r*cols + 3)
+				if dst[r*cols+5] != want {
+					t.Fatalf("row %d: got %d, want %d", r, dst[r*cols+5], want)
+				}
+			}
+		}
+	})
+}
+
+func TestTypedPaperIndexedExchange(t *testing.T) {
+	// The §5.3 workload end to end: alternating 64B/256KB blocks.
+	small, large := 64, 64<<10
+	pair := small + large
+	const count = 4
+	dt := Hindexed([]int{small, large}, []int{0, small}, Byte)
+	src := make([]byte, pair*count)
+	sim.NewRNG(9).Bytes(src)
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if m.Rank() == 0 {
+			if err := c.SendTyped(p, src, dt, count, 1, 2); err != nil {
+				t.Error(err)
+			}
+		} else {
+			dst := make([]byte, pair*count)
+			st, err := c.RecvTyped(p, dst, dt, count, 0, 2)
+			if err != nil {
+				t.Error(err)
+			}
+			if st.Count != pair*count {
+				t.Errorf("received %d bytes, want %d", st.Count, pair*count)
+			}
+			if !bytes.Equal(dst, src) {
+				t.Error("indexed payload corrupted")
+			}
+			// The large blocks must have traveled by rendezvous.
+			if rdv := m.Engine().Stats().RdvCompleted; rdv != 0 {
+				t.Errorf("receiver shows %d rdv completions; they belong to the sender", rdv)
+			}
+		}
+	})
+}
+
+func TestTypedBoundsChecked(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		dt := Hindexed([]int{16}, []int{100}, Byte)
+		short := make([]byte, 50)
+		if _, err := c.IsendTyped(p, short, dt, 1, 1-m.Rank(), 0).Wait(p); err == nil {
+			t.Error("out-of-bounds datatype send must fail")
+		}
+		if err := c.Barrier(p); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var maxBefore, minAfter sim.Time = 0, 1 << 62
+	job(t, 4, func(p *sim.Proc, m *MPI) {
+		// Stagger arrival.
+		p.Sleep(sim.Time(m.Rank()) * 50 * sim.Microsecond)
+		if now := p.Now(); now > maxBefore {
+			maxBefore = now
+		}
+		if err := m.CommWorld().Barrier(p); err != nil {
+			t.Error(err)
+		}
+		if now := p.Now(); now < minAfter {
+			minAfter = now
+		}
+	})
+	if minAfter < maxBefore {
+		t.Errorf("a rank left the barrier at %v before the last rank entered at %v", minAfter, maxBefore)
+	}
+}
+
+func TestBcastDeliversToAll(t *testing.T) {
+	payload := []byte("broadcast payload")
+	for _, root := range []int{0, 2} {
+		root := root
+		job(t, 5, func(p *sim.Proc, m *MPI) {
+			buf := make([]byte, len(payload))
+			if m.Rank() == root {
+				copy(buf, payload)
+			}
+			if err := m.CommWorld().Bcast(p, buf, root); err != nil {
+				t.Error(err)
+			}
+			if !bytes.Equal(buf, payload) {
+				t.Errorf("rank %d (root %d) got %q", m.Rank(), root, buf)
+			}
+		})
+	}
+}
+
+func TestGatherCollectsInRankOrder(t *testing.T) {
+	job(t, 4, func(p *sim.Proc, m *MPI) {
+		me := []byte{byte('A' + m.Rank()), byte('0' + m.Rank())}
+		all := make([]byte, 8)
+		if err := m.CommWorld().Gather(p, me, all, 1); err != nil {
+			t.Error(err)
+		}
+		if m.Rank() == 1 && string(all) != "A0B1C2D3" {
+			t.Errorf("gathered %q, want A0B1C2D3", all)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	job(t, 3, func(p *sim.Proc, m *MPI) {
+		me := []byte{byte(10 + m.Rank())}
+		all := make([]byte, 3)
+		if err := m.CommWorld().Allgather(p, me, all); err != nil {
+			t.Error(err)
+		}
+		for r := 0; r < 3; r++ {
+			if all[r] != byte(10+r) {
+				t.Errorf("rank %d slot %d = %d", m.Rank(), r, all[r])
+			}
+		}
+	})
+}
+
+func TestWaitallMixed(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		peer := 1 - m.Rank()
+		var reqs []*Request
+		bufs := make([][]byte, 5)
+		for i := 0; i < 5; i++ {
+			reqs = append(reqs, c.Isend(p, []byte{byte(i)}, peer, i))
+			bufs[i] = make([]byte, 1)
+			reqs = append(reqs, c.Irecv(p, bufs[i], peer, i))
+		}
+		if err := Waitall(p, reqs...); err != nil {
+			t.Error(err)
+		}
+		for i, b := range bufs {
+			if b[0] != byte(i) {
+				t.Errorf("message %d corrupted: %d", i, b[0])
+			}
+		}
+	})
+}
+
+func TestFinalize(t *testing.T) {
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		if err := m.Finalize(); err != nil {
+			t.Error(err)
+		}
+	})
+}

@@ -1,0 +1,244 @@
+// Package madmpi is MAD-MPI: the paper's "simple, straightforward
+// proof-of-concept implementation of a subset of the MPI API" on top of
+// the NewMadeleine engine (§3.4). The four point-to-point nonblocking
+// posting (Isend, Irecv) and completion (Wait, Test) operations map
+// directly onto the equivalent engine operations; communicators multiplex
+// onto engine flow tags; derived datatypes are sent one engine request
+// per block, so the scheduling strategies can aggregate the small blocks
+// with the rendezvous requests of the large blocks (§5.3).
+package madmpi
+
+import (
+	"errors"
+	"fmt"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// MPI is one rank's MPI environment. Every node of a job creates its own
+// over the shared fabric (ranks are node ids).
+type MPI struct {
+	eng   *core.Engine
+	rank  int
+	size  int
+	world *Comm
+
+	nextCommID uint32
+}
+
+// Init creates the MPI environment of one rank. opts selects the engine
+// personality — DefaultOptions gives the paper's MAD-MPI configuration.
+func Init(f *simnet.Fabric, node simnet.NodeID, opts core.Options) (*MPI, error) {
+	eng, err := core.New(f, node, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.AttachFabric(f); err != nil {
+		return nil, err
+	}
+	m := &MPI{eng: eng, rank: int(node), size: f.Nodes(), nextCommID: 1}
+	m.world = &Comm{mpi: m, id: m.nextCommID}
+	return m, nil
+}
+
+// InitWithEngine wraps an already-configured engine (used by benchmarks
+// that attach custom rails).
+func InitWithEngine(eng *core.Engine, size int) *MPI {
+	m := &MPI{eng: eng, rank: int(eng.NodeID()), size: size, nextCommID: 1}
+	m.world = &Comm{mpi: m, id: m.nextCommID}
+	return m
+}
+
+// Rank returns this process's rank in COMM_WORLD.
+func (m *MPI) Rank() int { return m.rank }
+
+// Size returns the number of ranks in COMM_WORLD.
+func (m *MPI) Size() int { return m.size }
+
+// CommWorld returns the predefined world communicator.
+func (m *MPI) CommWorld() *Comm { return m.world }
+
+// Engine exposes the underlying NewMadeleine engine (for stats and
+// strategy inspection).
+func (m *MPI) Engine() *core.Engine { return m.eng }
+
+// Finalize shuts the engine down.
+func (m *MPI) Finalize() error { return m.eng.Close() }
+
+// Errors.
+var (
+	ErrSelfMessage = errors.New("madmpi: self sends are not supported (design collectives around them)")
+	ErrBadRank     = errors.New("madmpi: rank out of range")
+)
+
+// AnyTag matches any tag of the communicator (MPI_ANY_TAG).
+const AnyTag = -1
+
+// maxUserTag bounds user tags: the communicator id lives in the upper 32
+// bits of the engine flow tag.
+const maxUserTag = 1<<31 - 1
+
+// Comm is an MPI communicator: an isolated tag space over the same ranks.
+// The engine deliberately optimizes *across* communicators — the paper's
+// Figure 3 experiment uses one communicator per segment precisely to show
+// that the optimization scope is global.
+type Comm struct {
+	mpi     *MPI
+	id      uint32
+	collSeq uint32
+}
+
+// Dup returns a new communicator with an isolated tag space. Like the
+// real MPI_Comm_dup it must be called collectively in the same order on
+// every rank so ids agree.
+func (c *Comm) Dup() *Comm {
+	c.mpi.nextCommID++
+	return &Comm{mpi: c.mpi, id: c.mpi.nextCommID}
+}
+
+// Rank returns the caller's rank.
+func (c *Comm) Rank() int { return c.mpi.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.mpi.size }
+
+// ID returns the communicator's numeric id (diagnostics).
+func (c *Comm) ID() uint32 { return c.id }
+
+// flowTag folds (communicator, user tag) into an engine flow tag.
+func (c *Comm) flowTag(tag int) core.Tag {
+	return core.Tag(c.id)<<32 | core.Tag(uint32(tag))
+}
+
+// tagSpace returns the (want, mask) pair matching the whole communicator
+// (for AnyTag receives).
+func (c *Comm) tagSpace() (core.Tag, core.Tag) {
+	return core.Tag(c.id) << 32, core.Tag(0xFFFFFFFF) << 32
+}
+
+// userTag recovers the user tag from a matched engine flow tag.
+func userTag(flow core.Tag) int { return int(uint32(flow)) }
+
+// checkPeer validates a peer rank.
+func (c *Comm) checkPeer(peer int) error {
+	if peer < 0 || peer >= c.mpi.size {
+		return fmt.Errorf("%w: %d of %d", ErrBadRank, peer, c.mpi.size)
+	}
+	if peer == c.mpi.rank {
+		return ErrSelfMessage
+	}
+	return nil
+}
+
+// checkTag validates a user tag for sending.
+func checkTag(tag int) error {
+	if tag < 0 || tag > maxUserTag {
+		return fmt.Errorf("madmpi: tag %d out of range [0, %d]", tag, maxUserTag)
+	}
+	return nil
+}
+
+// gate resolves the engine gate for a peer rank.
+func (c *Comm) gate(peer int) *core.Gate {
+	return c.mpi.eng.Gate(simnet.NodeID(peer))
+}
+
+// Status describes a completed receive, like MPI_Status.
+type Status struct {
+	Source int
+	Tag    int
+	Count  int
+}
+
+// Request is a nonblocking operation handle. Typed (derived-datatype)
+// operations fan out into several engine requests under one handle.
+type Request struct {
+	comm  *Comm
+	sends []*core.SendRequest
+	recvs []*core.RecvRequest
+	err   error // immediate validation error
+}
+
+// failedRequest wraps an immediate error so Wait/Test report it.
+func failedRequest(c *Comm, err error) *Request { return &Request{comm: c, err: err} }
+
+// Test reports whether the whole operation has completed.
+func (r *Request) Test() bool {
+	if r.err != nil {
+		return true
+	}
+	for _, s := range r.sends {
+		if !s.Test() {
+			return false
+		}
+	}
+	for _, rr := range r.recvs {
+		if !rr.Test() {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until completion and returns the receive status (zero for
+// pure sends).
+func (r *Request) Wait(p *sim.Proc) (Status, error) {
+	if r.err != nil {
+		return Status{}, r.err
+	}
+	var first error
+	for _, s := range r.sends {
+		if err := s.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	count := 0
+	st := Status{Source: -1, Tag: -1}
+	for i, rr := range r.recvs {
+		if err := rr.Wait(p); err != nil && first == nil {
+			first = err
+		}
+		count += rr.N()
+		if i == 0 {
+			st.Source = int(rr.Source())
+			st.Tag = userTag(rr.Tag())
+		}
+	}
+	st.Count = count
+	return st, first
+}
+
+// Waitall completes every request, returning the first error.
+func Waitall(p *sim.Proc, reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, err := r.Wait(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Waitany blocks until at least one of the requests has completed and
+// returns its index and status (MPI_Waitany). Completed requests passed
+// again return immediately.
+func Waitany(p *sim.Proc, reqs ...*Request) (int, Status, error) {
+	if len(reqs) == 0 {
+		return -1, Status{}, errors.New("madmpi: Waitany with no requests")
+	}
+	cond := reqs[0].cond()
+	for {
+		for i, r := range reqs {
+			if r.Test() {
+				st, err := r.Wait(p)
+				return i, st, err
+			}
+		}
+		cond.Wait(p)
+	}
+}
+
+// cond exposes the engine-wide completion condition for Waitany polling.
+func (r *Request) cond() *sim.Cond { return r.comm.mpi.eng.Cond() }

@@ -1,0 +1,149 @@
+package madmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nmad/internal/sim"
+)
+
+// Reduction collectives over float64 vectors — enough for the dominant
+// numerical use of MPI_Reduce/Allreduce. Binomial-tree reduce, then a
+// broadcast for the All variant (the classic MPICH-1 algorithms, built
+// purely on the point-to-point layer).
+
+// Op is a binary reduction operator applied element-wise.
+type Op func(a, b float64) float64
+
+// Predefined operators.
+var (
+	OpSum  Op = func(a, b float64) float64 { return a + b }
+	OpMax  Op = math.Max
+	OpMin  Op = math.Min
+	OpProd Op = func(a, b float64) float64 { return a * b }
+)
+
+// Reduce combines every rank's send vector element-wise into recv at
+// root (recv is ignored elsewhere). All vectors must have equal length.
+func (c *Comm) Reduce(p *sim.Proc, send, recv []float64, op Op, root int) error {
+	n, me := c.Size(), c.Rank()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: reduce root %d", ErrBadRank, root)
+	}
+	tag := c.collTag()
+	// Rotate ranks so the tree roots at 0.
+	vrank := (me - root + n) % n
+	acc := append([]float64(nil), send...)
+	buf := make([]byte, 8*len(send))
+	// Binomial tree: in round k, vranks with bit k set send to
+	// vrank - 2^k and drop out; others receive and fold.
+	for mask := 1; mask < n; mask *= 2 {
+		if vrank&mask != 0 {
+			dst := ((vrank - mask) + root) % n
+			return c.Send(p, packF64(acc), dst, tag)
+		}
+		if vrank+mask < n {
+			src := ((vrank + mask) + root) % n
+			if _, err := c.Recv(p, buf, src, tag); err != nil {
+				return fmt.Errorf("madmpi: reduce recv: %w", err)
+			}
+			other := unpackF64(buf, len(acc))
+			for i := range acc {
+				acc[i] = op(acc[i], other[i])
+			}
+		}
+	}
+	copy(recv, acc)
+	return nil
+}
+
+// Allreduce is Reduce followed by a broadcast of the result.
+func (c *Comm) Allreduce(p *sim.Proc, send, recv []float64, op Op) error {
+	tmp := make([]float64, len(send))
+	if err := c.Reduce(p, send, tmp, op, 0); err != nil {
+		return err
+	}
+	raw := make([]byte, 8*len(send))
+	if c.Rank() == 0 {
+		copy(raw, packF64(tmp))
+	}
+	if err := c.Bcast(p, raw, 0); err != nil {
+		return err
+	}
+	copy(recv, unpackF64(raw, len(send)))
+	return nil
+}
+
+// Scatter distributes equal slices of sendBuf (significant at root only)
+// to every rank's recvBuf.
+func (c *Comm) Scatter(p *sim.Proc, sendBuf, recvBuf []byte, root int) error {
+	n, me := c.Size(), c.Rank()
+	if root < 0 || root >= n {
+		return fmt.Errorf("%w: scatter root %d", ErrBadRank, root)
+	}
+	tag := c.collTag()
+	per := len(recvBuf)
+	if me != root {
+		_, err := c.Recv(p, recvBuf, root, tag)
+		return err
+	}
+	if len(sendBuf) < n*per {
+		return fmt.Errorf("madmpi: scatter buffer %d bytes, need %d", len(sendBuf), n*per)
+	}
+	copy(recvBuf, sendBuf[me*per:(me+1)*per])
+	reqs := make([]*Request, 0, n-1)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs = append(reqs, c.Isend(p, sendBuf[r*per:(r+1)*per], r, tag))
+	}
+	return Waitall(p, reqs...)
+}
+
+// Alltoall exchanges the i-th slice of sendBuf with rank i; every rank
+// ends with one slice from everyone in recvBuf, rank order. Slice size is
+// len(sendBuf)/Size.
+func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf []byte) error {
+	n, me := c.Size(), c.Rank()
+	if len(sendBuf)%n != 0 {
+		return fmt.Errorf("madmpi: alltoall send buffer %d not divisible by %d ranks", len(sendBuf), n)
+	}
+	per := len(sendBuf) / n
+	if len(recvBuf) < n*per {
+		return fmt.Errorf("madmpi: alltoall recv buffer %d bytes, need %d", len(recvBuf), n*per)
+	}
+	tag := c.collTag()
+	copy(recvBuf[me*per:(me+1)*per], sendBuf[me*per:(me+1)*per])
+	reqs := make([]*Request, 0, 2*(n-1))
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs = append(reqs, c.Irecv(p, recvBuf[r*per:(r+1)*per], r, tag))
+	}
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		reqs = append(reqs, c.Isend(p, sendBuf[r*per:(r+1)*per], r, tag))
+	}
+	return Waitall(p, reqs...)
+}
+
+func packF64(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+func unpackF64(b []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

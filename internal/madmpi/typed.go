@@ -1,0 +1,106 @@
+package madmpi
+
+import (
+	"fmt"
+
+	"nmad/internal/sim"
+)
+
+// Typed (derived-datatype) point-to-point operations. Where MPICH packs
+// every block into a temporary contiguous buffer, sends it as a single
+// transaction, and unpacks on the receiving side (two full memory copies,
+// paper §5.3), MAD-MPI "uses an algorithm which generates an individual
+// communication request for each block, allowing the underlying
+// communication layer to perform any appropriate optimization": the
+// scheduler aggregates the small blocks — reordered together with the
+// rendezvous requests of the large blocks — and the large blocks travel
+// zero-copy straight from and into user memory.
+
+// IsendTyped starts a nonblocking send of count elements of datatype t
+// read from base (the address of the first element).
+func (c *Comm) IsendTyped(p *sim.Proc, base []byte, t Datatype, count, dest, tag int) *Request {
+	if err := c.checkPeer(dest); err != nil {
+		return failedRequest(c, err)
+	}
+	if err := checkTag(tag); err != nil {
+		return failedRequest(c, err)
+	}
+	segs := Flatten(t, count)
+	if err := checkBounds(base, segs); err != nil {
+		return failedRequest(c, err)
+	}
+	g := c.gate(dest)
+	flow := c.flowTag(tag)
+	req := &Request{comm: c}
+	for _, s := range segs {
+		req.sends = append(req.sends, g.Isend(p, flow, base[s.Offset:s.Offset+s.Len]))
+	}
+	return req
+}
+
+// IrecvTyped starts a nonblocking receive of count elements of datatype t
+// scattered into base. The sender must use a layout with the same block
+// structure (the usual MPI contract: matching type signatures).
+func (c *Comm) IrecvTyped(p *sim.Proc, base []byte, t Datatype, count, src, tag int) *Request {
+	if err := c.checkPeer(src); err != nil {
+		return failedRequest(c, err)
+	}
+	if err := checkTag(tag); err != nil {
+		return failedRequest(c, err)
+	}
+	segs := Flatten(t, count)
+	if err := checkBounds(base, segs); err != nil {
+		return failedRequest(c, err)
+	}
+	g := c.gate(src)
+	flow := c.flowTag(tag)
+	req := &Request{comm: c}
+	for _, s := range segs {
+		req.recvs = append(req.recvs, g.Irecv(p, flow, base[s.Offset:s.Offset+s.Len]))
+	}
+	return req
+}
+
+// SendTyped / RecvTyped are the blocking forms.
+func (c *Comm) SendTyped(p *sim.Proc, base []byte, t Datatype, count, dest, tag int) error {
+	_, err := c.IsendTyped(p, base, t, count, dest, tag).Wait(p)
+	return err
+}
+
+func (c *Comm) RecvTyped(p *sim.Proc, base []byte, t Datatype, count, src, tag int) (Status, error) {
+	return c.IrecvTyped(p, base, t, count, src, tag).Wait(p)
+}
+
+func checkBounds(base []byte, segs []Segment) error {
+	for _, s := range segs {
+		if s.Offset < 0 || s.Offset+s.Len > len(base) {
+			return fmt.Errorf("madmpi: datatype segment [%d,%d) outside the %d-byte buffer",
+				s.Offset, s.Offset+s.Len, len(base))
+		}
+	}
+	return nil
+}
+
+// Pack copies the data described by (t, count) at base into a contiguous
+// buffer (MPI_Pack). MAD-MPI itself never packs for transmission; this
+// exists for applications and for the baseline comparison.
+func Pack(base []byte, t Datatype, count int) []byte {
+	segs := Flatten(t, count)
+	out := make([]byte, 0, t.Size()*count)
+	for _, s := range segs {
+		out = append(out, base[s.Offset:s.Offset+s.Len]...)
+	}
+	return out
+}
+
+// Unpack scatters a contiguous buffer back into the layout described by
+// (t, count) at base (MPI_Unpack). It returns the number of bytes
+// consumed.
+func Unpack(packed []byte, base []byte, t Datatype, count int) int {
+	segs := Flatten(t, count)
+	n := 0
+	for _, s := range segs {
+		n += copy(base[s.Offset:s.Offset+s.Len], packed[n:])
+	}
+	return n
+}

@@ -1,0 +1,54 @@
+package sim
+
+// Cond is a condition variable for simulated processes. As with sync.Cond,
+// waiters must re-check their predicate in a loop:
+//
+//	for !req.done {
+//		cond.Wait(p)
+//	}
+//
+// Signal and Broadcast may be called from scheduler context (event
+// callbacks — e.g. a NIC completion that finishes a request) or from
+// another process; wakeups are delivered as immediate events, preserving
+// the one-runnable-at-a-time invariant.
+type Cond struct {
+	w       *World
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to w.
+func NewCond(w *World) *Cond { return &Cond{w: w} }
+
+// Wait blocks p until a Signal or Broadcast wakes it.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	c.w.waiting[p] = true
+	p.block()
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	c.wake(p)
+}
+
+// Broadcast wakes every waiting process.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		c.wake(p)
+	}
+}
+
+func (c *Cond) wake(p *Proc) {
+	delete(c.w.waiting, p)
+	c.w.At(c.w.now, func() { c.w.runProc(p) })
+}
+
+// Waiters reports how many processes are currently blocked on c.
+func (c *Cond) Waiters() int { return len(c.waiters) }

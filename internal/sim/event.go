@@ -1,0 +1,41 @@
+package sim
+
+import "container/heap"
+
+// event is a callback scheduled at a virtual instant. Events with equal
+// times fire in scheduling order (seq is the tiebreak), which keeps the
+// simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+func (q *eventQueue) push(ev *event) { heap.Push(q, ev) }
+
+func (q *eventQueue) pop() *event { return heap.Pop(q).(*event) }

@@ -1,0 +1,60 @@
+package sim
+
+// Proc is a cooperative simulated process. Application-level code (MPI
+// ranks, benchmark drivers, example programs) runs inside processes so it
+// can block — on time with Sleep, or on state with Cond.Wait — while the
+// engine underneath runs in event callbacks.
+//
+// Exactly one process executes at a time; a process runs until it blocks
+// or returns, so plain Go code inside a process needs no synchronization.
+type Proc struct {
+	w      *World
+	name   string
+	resume chan struct{}
+}
+
+// Spawn creates a process executing fn and schedules its first step at the
+// current virtual time. fn receives the process itself for blocking calls.
+func (w *World) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{w: w, name: name, resume: make(chan struct{})}
+	w.live++
+	go func() {
+		<-p.resume // wait for the scheduler to give us our first step
+		fn(p)
+		p.w.live--
+		p.w.yield <- struct{}{} // hand control back one last time
+	}()
+	w.At(w.now, func() { w.runProc(p) })
+	return p
+}
+
+// Name returns the name given at Spawn time (used in deadlock reports).
+func (p *Proc) Name() string { return p.name }
+
+// World returns the world the process lives in.
+func (p *Proc) World() *World { return p.w }
+
+// Now reports the current virtual time.
+func (p *Proc) Now() Time { return p.w.now }
+
+// Sleep blocks the process for d of virtual time. Sleep(0) yields: every
+// event already scheduled for the current instant fires before the process
+// resumes.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.w.After(d, func() { p.w.runProc(p) })
+	p.block()
+}
+
+// block parks the process and returns control to the scheduler. Something
+// must eventually call w.runProc(p) (a timer event, or a Cond wake) or the
+// process is dead; the kernel then reports a deadlock.
+func (p *Proc) block() {
+	if p.w.cur != p {
+		panic("sim: blocking call from the wrong context (process " + p.name + " is not running)")
+	}
+	p.w.yield <- struct{}{}
+	<-p.resume
+}

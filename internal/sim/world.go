@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// World owns the virtual clock, the event queue and every process spawned
+// into the simulation. A World is single-threaded by construction: the
+// scheduler goroutine (the one that calls Run) and at most one process
+// goroutine are ever runnable, and they hand control to each other through
+// unbuffered channels. No locking is needed anywhere above the kernel.
+type World struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+
+	cur   *Proc         // process currently executing, nil in scheduler context
+	yield chan struct{} // a process signals here when it blocks or finishes
+
+	live    int            // spawned processes that have not finished
+	waiting map[*Proc]bool // processes blocked on a Cond (for deadlock reports)
+
+	stopped bool
+	limit   Time // RunUntil horizon; 0 = none
+}
+
+// NewWorld returns an empty world with the clock at zero.
+func NewWorld() *World {
+	return &World{
+		yield:   make(chan struct{}),
+		waiting: make(map[*Proc]bool),
+	}
+}
+
+// Now reports the current virtual time.
+func (w *World) Now() Time { return w.now }
+
+// At schedules fn to run at virtual time t (clamped to now if in the past).
+// fn runs in scheduler context: it may schedule further events, signal
+// conditions and complete requests, but it must not block.
+func (w *World) At(t Time, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.seq++
+	w.queue.push(&event{at: t, seq: w.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d means now.
+func (w *World) After(d Time, fn func()) { w.At(w.now+d, fn) }
+
+// Stop makes Run return after the event currently firing.
+func (w *World) Stop() { w.stopped = true }
+
+// DeadlockError reports that every live process is blocked with no event
+// left that could wake any of them.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // names of the blocked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked forever: %v",
+		e.Now, len(e.Blocked), e.Blocked)
+}
+
+// Run drives the simulation until the event queue drains, Stop is called,
+// or the horizon set by RunUntil passes. It returns a *DeadlockError if
+// processes remain blocked when no event can ever wake them, nil otherwise.
+func (w *World) Run() error {
+	w.stopped = false
+	for !w.stopped && w.queue.Len() > 0 {
+		ev := w.queue.pop()
+		if w.limit > 0 && ev.at > w.limit {
+			// Past the horizon: leave the event unfired for a later Run.
+			w.queue.push(ev)
+			w.now = w.limit
+			return nil
+		}
+		w.now = ev.at
+		ev.fn()
+	}
+	if w.queue.Len() == 0 && w.live > 0 {
+		return w.deadlock()
+	}
+	return nil
+}
+
+// RunUntil drives the simulation, stopping once the clock would pass t.
+// Events scheduled later than t stay queued for a subsequent Run/RunUntil.
+func (w *World) RunUntil(t Time) error {
+	w.limit = t
+	defer func() { w.limit = 0 }()
+	return w.Run()
+}
+
+func (w *World) deadlock() error {
+	names := make([]string, 0, len(w.waiting))
+	for p := range w.waiting {
+		names = append(names, p.name)
+	}
+	sort.Strings(names)
+	return &DeadlockError{Now: w.now, Blocked: names}
+}
+
+// Live reports how many spawned processes have not yet finished.
+func (w *World) Live() int { return w.live }
+
+// runProc transfers control to p until it blocks or finishes. Must be
+// called from scheduler context only (i.e. from inside an event).
+func (w *World) runProc(p *Proc) {
+	if w.cur != nil {
+		panic("sim: runProc while another process is running")
+	}
+	w.cur = p
+	p.resume <- struct{}{}
+	<-w.yield
+	w.cur = nil
+}
+
+// Cur returns the process currently executing, or nil when called from
+// scheduler context (an event callback).
+func (w *World) Cur() *Proc { return w.cur }

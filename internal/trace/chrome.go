@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event export: load the output of WriteChrome in
+// chrome://tracing or Perfetto to see each node's scheduling activity as
+// instant events on the virtual timeline, one track per (node, rail).
+
+// chromeEvent is the trace-event JSON schema (instant events, "i" phase).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Ts    float64        `json:"ts"`  // microseconds
+	Pid   int            `json:"pid"` // node
+	Tid   int            `json:"tid"` // rail + 1 (0 = engine-level)
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome emits the retained events as a Chrome trace-event array.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	events := r.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name:  ev.Kind.String(),
+			Phase: "i",
+			Ts:    ev.At.Microseconds(),
+			Pid:   ev.Node,
+			Tid:   ev.Rail + 1,
+			Scope: "t",
+			Args:  map[string]any{},
+		}
+		if ev.Peer >= 0 {
+			ce.Args["peer"] = ev.Peer
+		}
+		if ev.Bytes > 0 {
+			ce.Args["bytes"] = ev.Bytes
+		}
+		if ev.Entries > 0 {
+			ce.Args["entries"] = ev.Entries
+		}
+		if ev.Tag != 0 {
+			ce.Args["tag"] = ev.Tag
+		}
+		if ev.Note != "" {
+			ce.Args["note"] = ev.Note
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,153 @@
+package nmad
+
+import (
+	"nmad/internal/core"
+	"nmad/internal/madmpi"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// Re-exported engine types: the public API is the engine plus MAD-MPI;
+// the internal packages carry the implementation.
+type (
+	// Engine is one node's NewMadeleine instance.
+	Engine = core.Engine
+	// Options configures an engine (strategy, software overheads).
+	Options = core.Options
+	// Gate is a connection to one peer node.
+	Gate = core.Gate
+	// Tag identifies a logical flow.
+	Tag = core.Tag
+	// Flags carry scheduling/delivery hints on a submission.
+	Flags = core.Flags
+	// SendOptions tunes one submission (flags, rail pinning).
+	SendOptions = core.SendOptions
+	// SendRequest and RecvRequest are nonblocking operation handles.
+	SendRequest = core.SendRequest
+	RecvRequest = core.RecvRequest
+	// Message and InMessage are the Madeleine-style incremental
+	// pack/unpack interfaces.
+	Message   = core.Message
+	InMessage = core.InMessage
+	// Stats are the engine's optimizer counters.
+	Stats = core.Stats
+
+	// MPI and Comm are the MAD-MPI environment and communicator.
+	MPI  = madmpi.MPI
+	Comm = madmpi.Comm
+	// Datatype describes a (possibly non-contiguous) memory layout.
+	Datatype = madmpi.Datatype
+
+	// Proc is a simulated process; Time is virtual time.
+	Proc = sim.Proc
+	Time = sim.Time
+	// Tracer records the engine's scheduling decisions (Options.Tracer).
+	Tracer = trace.Recorder
+	// TraceEvent is one recorded scheduling decision.
+	TraceEvent = trace.Event
+	// Profile parameterizes one network technology.
+	Profile = simnet.Profile
+	// NodeID identifies a host in the fabric.
+	NodeID = simnet.NodeID
+)
+
+// Re-exported constants and constructors.
+var (
+	// DefaultOptions is the paper's MAD-MPI engine configuration.
+	DefaultOptions = core.DefaultOptions
+	// Strategy registry access.
+	StrategyNames = core.StrategyNames
+	// NewTracer / NewRingTracer create scheduling-decision recorders.
+	NewTracer     = trace.NewRecorder
+	NewRingTracer = trace.NewRingRecorder
+	// Reduction operators for Comm.Reduce / Allreduce.
+	OpSum  = madmpi.OpSum
+	OpMax  = madmpi.OpMax
+	OpMin  = madmpi.OpMin
+	OpProd = madmpi.OpProd
+
+	// Network profiles of the five ports.
+	MX10G   = simnet.MX10G
+	QsNetII = simnet.QsNetII
+	GM2000  = simnet.GM2000
+	SISCI   = simnet.SISCI
+	TCPGbE  = simnet.TCPGbE
+
+	// MAD-MPI datatype constructors.
+	Contiguous = madmpi.Contiguous
+	Vector     = madmpi.Vector
+	Hvector    = madmpi.Hvector
+	Indexed    = madmpi.Indexed
+	Hindexed   = madmpi.Hindexed
+	StructType = madmpi.Struct
+	Resized    = madmpi.Resized
+	ByteType   = madmpi.Byte
+)
+
+// Scheduling flags.
+const (
+	FlagPriority  = core.FlagPriority
+	FlagUnordered = core.FlagUnordered
+	FlagNeedAck   = core.FlagNeedAck
+	AnyDriver     = core.AnyDriver
+	AnyTag        = madmpi.AnyTag
+)
+
+// Cluster bundles a simulation world and a fabric: the "machine" a
+// program runs on.
+type Cluster struct {
+	world  *sim.World
+	fabric *simnet.Fabric
+}
+
+// NewCluster builds an n-node machine with one NIC per node per profile
+// (default: a single MX/Myri-10G rail) and the paper's host parameters.
+func NewCluster(n int, profiles ...Profile) (*Cluster, error) {
+	if len(profiles) == 0 {
+		profiles = []Profile{simnet.MX10G()}
+	}
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, n, simnet.DefaultHost())
+	for _, prof := range profiles {
+		if _, err := f.AddNetwork(prof); err != nil {
+			return nil, err
+		}
+	}
+	return &Cluster{world: w, fabric: f}, nil
+}
+
+// World returns the virtual-time world of the cluster.
+func (c *Cluster) World() *sim.World { return c.world }
+
+// Fabric returns the underlying simulated fabric.
+func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }
+
+// Now reports the current virtual time.
+func (c *Cluster) Now() Time { return c.world.Now() }
+
+// Engine creates a NewMadeleine engine on the given node, attached to
+// every rail of the cluster.
+func (c *Cluster) Engine(node int, opts Options) (*Engine, error) {
+	e, err := core.New(c.fabric, simnet.NodeID(node), opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.AttachFabric(c.fabric); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MPI creates a MAD-MPI rank on the given node.
+func (c *Cluster) MPI(node int, opts Options) (*MPI, error) {
+	return madmpi.Init(c.fabric, simnet.NodeID(node), opts)
+}
+
+// Spawn starts a simulated process (one MPI rank's program, a benchmark
+// driver, ...).
+func (c *Cluster) Spawn(name string, fn func(p *Proc)) { c.world.Spawn(name, fn) }
+
+// Run drives the simulation until every process finishes. It returns a
+// *sim.DeadlockError if processes block forever.
+func (c *Cluster) Run() error { return c.world.Run() }

@@ -1,0 +1,94 @@
+package nmad_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nmad"
+)
+
+func TestClusterQuickstart(t *testing.T) {
+	cl, err := nmad.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := cl.Engine(0, nmad.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := cl.Engine(1, nmad.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("facade works")
+	got := make([]byte, 32)
+	var n int
+	cl.Spawn("send", func(p *nmad.Proc) {
+		if err := e0.Gate(1).Send(p, 1, msg); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Spawn("recv", func(p *nmad.Proc) {
+		var err error
+		n, err = e1.Gate(0).Recv(p, 1, got)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:n], msg) {
+		t.Errorf("received %q", got[:n])
+	}
+	if cl.Now() == 0 {
+		t.Error("virtual time did not advance")
+	}
+}
+
+func TestClusterMPI(t *testing.T) {
+	cl, err := nmad.NewCluster(2, nmad.MX10G(), nmad.QsNetII())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 2; rank++ {
+		m, err := cl.MPI(rank, nmad.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Spawn("rank", func(p *nmad.Proc) {
+			c := m.CommWorld()
+			if m.Rank() == 0 {
+				if err := c.Send(p, []byte("over the facade"), 1, 0); err != nil {
+					t.Error(err)
+				}
+			} else {
+				buf := make([]byte, 32)
+				st, err := c.Recv(p, buf, 0, nmad.AnyTag)
+				if err != nil {
+					t.Error(err)
+				}
+				if string(buf[:st.Count]) != "over the facade" {
+					t.Errorf("got %q", buf[:st.Count])
+				}
+			}
+		})
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStrategyNamesExported(t *testing.T) {
+	names := nmad.StrategyNames()
+	if len(names) != 4 {
+		t.Errorf("StrategyNames() = %v, want the four built-ins", names)
+	}
+}
+
+func TestDatatypeConstructorsExported(t *testing.T) {
+	dt := nmad.Hindexed([]int{64, 256 << 10}, []int{0, 64}, nmad.ByteType)
+	if dt.Size() != 64+256<<10 {
+		t.Errorf("datatype size %d", dt.Size())
+	}
+}

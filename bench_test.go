@@ -301,11 +301,11 @@ func BenchmarkEngineSmallSendHostSpeed(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		e0, err := cl.Engine(0, nmad.DefaultOptions())
+		e0, err := cl.Engine(0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		e1, err := cl.Engine(1, nmad.DefaultOptions())
+		e1, err := cl.Engine(1)
 		if err != nil {
 			b.Fatal(err)
 		}

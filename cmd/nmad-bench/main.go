@@ -18,7 +18,7 @@ import (
 	"fmt"
 	"os"
 
-	"nmad/internal/bench"
+	"nmad"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, id := range bench.FigureIDs() {
+		for _, id := range nmad.BenchFigureIDs() {
 			fmt.Println(id)
 		}
 		return
@@ -40,19 +40,19 @@ func main() {
 
 	ids := []string{*fig}
 	if *fig == "all" {
-		ids = bench.FigureIDs()
+		ids = nmad.BenchFigureIDs()
 	}
 	for _, id := range ids {
-		result, err := bench.Run(id)
+		result, err := nmad.BenchRun(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nmad-bench: %v\n", err)
 			os.Exit(1)
 		}
 		switch *format {
 		case "table":
-			fmt.Println(bench.FormatTable(result))
+			fmt.Println(nmad.BenchFormatTable(result))
 		case "csv":
-			fmt.Printf("# figure %s: %s\n%s\n", result.ID, result.Title, bench.FormatCSV(result))
+			fmt.Printf("# figure %s: %s\n%s\n", result.ID, result.Title, nmad.BenchFormatCSV(result))
 		default:
 			fmt.Fprintf(os.Stderr, "nmad-bench: unknown format %q\n", *format)
 			os.Exit(2)

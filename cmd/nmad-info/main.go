@@ -8,38 +8,28 @@ package main
 import (
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
-	"nmad/internal/drivers"
-	"nmad/internal/sim"
-	"nmad/internal/simnet"
+	"nmad"
 )
 
 func main() {
-	w := sim.NewWorld()
-	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
-
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "driver\tnetwork\tlatency\tbandwidth\tgather\trdv threshold\trdma\tgap\tsend ovh\trecv ovh")
-	for _, prof := range simnet.Profiles() {
-		net, err := f.AddNetwork(prof)
+	for _, prof := range nmad.Profiles() {
+		name, caps, err := nmad.ProbeRail(prof)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nmad-info: %v\n", err)
 			os.Exit(1)
 		}
-		drv, err := drivers.New(net, 0)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "nmad-info: %v\n", err)
-			os.Exit(1)
-		}
-		caps := drv.Caps()
 		fmt.Fprintf(tw, "%s\t%s\t%v\t%.0f MB/s\t%d segs\t%d B\t%v\t%v\t%v\t%v\n",
-			drv.Name(), prof.Name, caps.Latency, caps.Bandwidth/1e6,
+			name, prof.Name, caps.Latency, caps.Bandwidth/1e6,
 			caps.MaxSegments, caps.RdvThreshold, caps.RDMA,
 			prof.Gap, prof.SendOverhead, prof.RecvOverhead)
 	}
 	tw.Flush()
-	fmt.Println("\nhost: memcpy bandwidth", fmt.Sprintf("%.1f GB/s", simnet.DefaultHost().MemcpyBandwidth/1e9),
+	fmt.Println("\nhost: memcpy bandwidth", fmt.Sprintf("%.1f GB/s", nmad.DefaultHost().MemcpyBandwidth/1e9),
 		"(2006 dual-core 1.8 GHz Opteron, per the paper's testbed)")
-	fmt.Println("strategies:", "default aggreg split prio")
+	fmt.Println("strategies:", strings.Join(nmad.StrategyNames(), " "))
 }

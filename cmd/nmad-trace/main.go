@@ -17,10 +17,7 @@ import (
 	"log"
 	"os"
 
-	"nmad/internal/core"
-	"nmad/internal/sim"
-	"nmad/internal/simnet"
-	"nmad/internal/trace"
+	"nmad"
 )
 
 func main() {
@@ -28,59 +25,44 @@ func main() {
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file instead of a text timeline")
 	flag.Parse()
 
-	rec := trace.NewRecorder()
-	w := sim.NewWorld()
-	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
-	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
-		log.Fatal(err)
-	}
-
-	opts := core.DefaultOptions()
-	opts.Strategy = *strategy
-	opts.Tracer = rec
-	sender, err := core.New(f, 0, opts)
+	rec := nmad.NewTracer()
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := sender.AttachFabric(f); err != nil {
-		log.Fatal(err)
-	}
-	recvOpts := core.DefaultOptions()
-	recvOpts.Strategy = *strategy
-	receiver, err := core.New(f, 1, recvOpts)
+	sender, err := cl.Engine(0, nmad.WithStrategy(*strategy), nmad.WithTracer(rec))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := receiver.AttachFabric(f); err != nil {
+	receiver, err := cl.Engine(1, nmad.WithStrategy(*strategy))
+	if err != nil {
 		log.Fatal(err)
 	}
 
 	// The workload: a burst of small sends on distinct flows plus one
 	// large send (rendezvous), the §5.2/§5.3 patterns in miniature.
-	w.Spawn("sender", func(p *sim.Proc) {
+	cl.Spawn("sender", func(p *nmad.Proc) {
 		g := sender.Gate(1)
 		for i := 0; i < 6; i++ {
-			g.Isend(p, core.Tag(i), make([]byte, 128))
+			g.Isend(p, nmad.Tag(i), make([]byte, 128))
 		}
 		g.Isend(p, 100, make([]byte, 256<<10))
 		for i := 6; i < 10; i++ {
-			g.Isend(p, core.Tag(i), make([]byte, 128))
+			g.Isend(p, nmad.Tag(i), make([]byte, 128))
 		}
 	})
-	w.Spawn("receiver", func(p *sim.Proc) {
+	cl.Spawn("receiver", func(p *nmad.Proc) {
 		g := receiver.Gate(0)
-		var reqs []*core.RecvRequest
+		var reqs []nmad.Request
 		for i := 0; i < 10; i++ {
-			reqs = append(reqs, g.Irecv(p, core.Tag(i), make([]byte, 128)))
+			reqs = append(reqs, g.Irecv(p, nmad.Tag(i), make([]byte, 128)))
 		}
 		reqs = append(reqs, g.Irecv(p, 100, make([]byte, 256<<10)))
-		for _, r := range reqs {
-			if err := r.Wait(p); err != nil {
-				log.Fatal(err)
-			}
+		if err := nmad.WaitAll(p, reqs...); err != nil {
+			log.Fatal(err)
 		}
 	})
-	if err := w.Run(); err != nil {
+	if err := cl.Run(); err != nil {
 		log.Fatal(err)
 	}
 

@@ -17,14 +17,40 @@
 // user-level process, the hardware is substituted by a deterministic
 // discrete-event network simulator with LogGP-style cost models
 // calibrated against the paper's 2006 Opteron testbed. All latency and
-// bandwidth figures are read off the virtual clock; see DESIGN.md for
-// the substitution argument and EXPERIMENTS.md for paper-vs-measured
-// numbers of every figure.
+// bandwidth figures are read off the virtual clock.
+//
+// # The API
+//
+// The package is a facade in three movements:
+//
+// Construction is functional options. A Cluster is the machine; engines
+// and MPI ranks live on its nodes:
+//
+//	cl, _ := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G(), nmad.QsNetII()))
+//	e0, _ := cl.Engine(0, nmad.WithStrategy("aggreg"), nmad.WithTracer(tr))
+//	m1, _ := cl.MPI(1)
+//
+// Completion is one Request interface. Sends, receives, packed messages
+// and MAD-MPI handles all expose Done/Test/Err/Wait/Bytes, compose with
+// NewRequestGroup, and finish through WaitAll/WaitAny:
+//
+//	s := e0.Gate(1).Isend(p, tag, data, nmad.Priority())
+//	r := e0.Gate(1).Irecv(p, tag2, buf)
+//	idx, _ := nmad.WaitAny(p, s, r)
+//
+// Non-contiguous data is first-class. Isendv/Irecvv move an iovec — a
+// gather/scatter list of segments anywhere in user space — as ONE
+// wrapper, NIC-gathered on send and scattered on delivery; MAD-MPI
+// derived datatypes ride this path, so an indexed layout is one wire
+// entry the strategies aggregate natively (the paper's §5.3 result):
+//
+//	e0.Gate(1).Isendv(p, tag, [][]byte{hdr, col0, col1})
 //
 // # Layout
 //
-//   - package nmad (this package): a thin facade — Cluster assembly plus
-//     re-exports of the engine, MAD-MPI and profile types.
+//   - package nmad (this package): the facade — Cluster assembly,
+//     functional options, and re-exports of the engine, MAD-MPI,
+//     profiles, tracing and the benchmark harness.
 //   - internal/sim: the discrete-event kernel (virtual clock, cooperative
 //     processes, condition variables).
 //   - internal/simnet: NIC/wire/host cost models and the five network
@@ -33,7 +59,8 @@
 //     network, with capability reports.
 //   - internal/core: the engine — collect layer, optimization window,
 //     strategies (default/aggreg/split/prio), rendezvous protocol,
-//     resequencing receive path, pack/unpack and sendrecv interfaces.
+//     resequencing receive path, the unified Request layer and the
+//     vector (iovec) path.
 //   - internal/madmpi: MAD-MPI — communicators, point-to-point,
 //     derived datatypes, a few collectives.
 //   - internal/baseline: MPICH-like and OpenMPI-like comparators.
@@ -41,9 +68,9 @@
 //
 // # Quick start
 //
-//	cl, _ := nmad.NewCluster(2, nmad.MX10G())
-//	e0, _ := cl.Engine(0, nmad.DefaultOptions())
-//	e1, _ := cl.Engine(1, nmad.DefaultOptions())
+//	cl, _ := nmad.NewCluster(2)
+//	e0, _ := cl.Engine(0)
+//	e1, _ := cl.Engine(1)
 //	cl.Spawn("sender", func(p *nmad.Proc) {
 //		e0.Gate(1).Send(p, 7, []byte("hello"))
 //	})

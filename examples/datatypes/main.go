@@ -2,9 +2,10 @@
 // described by an MPI indexed datatype — alternating small (64 B) and
 // large (256 KB) blocks — travels two ways:
 //
-//  1. the MAD-MPI way: one engine request per block; the scheduler
-//     aggregates the small blocks with the rendezvous requests of the
-//     large blocks, and the large blocks go zero-copy;
+//  1. the MAD-MPI way: the flattened layout rides the engine's vector
+//     path as one multi-segment wrapper (Gate.Isendv under the hood);
+//     the body streams zero-copy straight out of — and back into — the
+//     scattered blocks;
 //  2. the pack way (what MPICH does internally): copy everything into a
 //     contiguous staging buffer, send it, copy it back out on the other
 //     side. Here the application does the packing itself, and the two
@@ -44,15 +45,15 @@ func paperDatatype() nmad.Datatype {
 }
 
 func viaDatatype() (nmad.Time, error) {
-	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		return 0, err
 	}
-	m0, err := cl.MPI(0, nmad.DefaultOptions())
+	m0, err := cl.MPI(0)
 	if err != nil {
 		return 0, err
 	}
-	m1, err := cl.MPI(1, nmad.DefaultOptions())
+	m1, err := cl.MPI(1)
 	if err != nil {
 		return 0, err
 	}
@@ -79,15 +80,15 @@ func viaDatatype() (nmad.Time, error) {
 }
 
 func viaPack() (nmad.Time, error) {
-	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		return 0, err
 	}
-	e0, err := cl.Engine(0, nmad.DefaultOptions())
+	e0, err := cl.Engine(0)
 	if err != nil {
 		return 0, err
 	}
-	e1, err := cl.Engine(1, nmad.DefaultOptions())
+	e1, err := cl.Engine(1)
 	if err != nil {
 		return 0, err
 	}
@@ -120,7 +121,7 @@ func main() {
 	fmt.Printf("indexed datatype: %d x (%dB + %dKB) = %d KB total, over MX/Myri-10G\n\n",
 		pairs, smallBlock, largeBlock>>10, total>>10)
 
-	fmt.Println("MAD-MPI per-block requests (engine optimizes):")
+	fmt.Println("MAD-MPI vector path (one iovec wrapper, engine optimizes):")
 	madTime, err := viaDatatype()
 	if err != nil {
 		log.Fatal(err)

@@ -19,17 +19,15 @@ import (
 )
 
 func transfer(profiles []nmad.Profile, strategy string, size int) (nmad.Time, []int64, error) {
-	cl, err := nmad.NewCluster(2, profiles...)
+	cl, err := nmad.NewCluster(2, nmad.WithRails(profiles...))
 	if err != nil {
 		return 0, nil, err
 	}
-	opts := nmad.DefaultOptions()
-	opts.Strategy = strategy
-	src, err := cl.Engine(0, opts)
+	src, err := cl.Engine(0, nmad.WithStrategy(strategy))
 	if err != nil {
 		return 0, nil, err
 	}
-	dst, err := cl.Engine(1, opts)
+	dst, err := cl.Engine(1, nmad.WithStrategy(strategy))
 	if err != nil {
 		return 0, nil, err
 	}

@@ -19,15 +19,15 @@ import (
 )
 
 func main() {
-	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	e0, err := cl.Engine(0, nmad.DefaultOptions())
+	e0, err := cl.Engine(0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	e1, err := cl.Engine(1, nmad.DefaultOptions())
+	e1, err := cl.Engine(1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -30,17 +30,15 @@ const (
 // returns the virtual times at which the server saw the service id and
 // finished receiving the bulk.
 func oneRPC(strategy string) (idAt, bulkAt nmad.Time, err error) {
-	cl, err := nmad.NewCluster(2, nmad.MX10G())
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		return 0, 0, err
 	}
-	opts := nmad.DefaultOptions()
-	opts.Strategy = strategy
-	client, err := cl.Engine(0, opts)
+	client, err := cl.Engine(0, nmad.WithStrategy(strategy))
 	if err != nil {
 		return 0, 0, err
 	}
-	server, err := cl.Engine(1, opts)
+	server, err := cl.Engine(1, nmad.WithStrategy(strategy))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -54,10 +52,7 @@ func oneRPC(strategy string) (idAt, bulkAt nmad.Time, err error) {
 		}
 		// ...then the next call arrives: its service id must not wait
 		// behind all that bulk.
-		g.IsendOpts(p, tagCall, []byte("svc:matrix_multiply"), nmad.SendOptions{
-			Flags:  nmad.FlagPriority,
-			Driver: nmad.AnyDriver,
-		})
+		g.Isend(p, tagCall, []byte("svc:matrix_multiply"), nmad.Priority())
 	})
 
 	cl.Spawn("server", func(p *nmad.Proc) {

@@ -92,13 +92,13 @@ func setRow(grid []float64, r int, raw []byte) {
 }
 
 func main() {
-	cl, err := nmad.NewCluster(ranks, nmad.MX10G())
+	cl, err := nmad.NewCluster(ranks, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		log.Fatal(err)
 	}
 	mpis := make([]*nmad.MPI, ranks)
 	for i := range mpis {
-		if mpis[i], err = cl.MPI(i, nmad.DefaultOptions()); err != nil {
+		if mpis[i], err = cl.MPI(i); err != nil {
 			log.Fatal(err)
 		}
 	}

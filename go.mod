@@ -1,0 +1,3 @@
+module nmad
+
+go 1.24

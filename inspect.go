@@ -1,0 +1,47 @@
+package nmad
+
+import (
+	"nmad/internal/bench"
+	"nmad/internal/drivers"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Introspection and evaluation surface of the facade, so diagnostic
+// tools (nmad-info, nmad-bench) never reach into internal packages.
+
+// RailCaps is the transfer-layer capability report the scheduling
+// strategies consume: rendezvous threshold, gather/scatter capacity,
+// RDMA availability, nominal performance figures.
+type RailCaps = drivers.Caps
+
+// ProbeRail instantiates the driver of one network profile on a
+// throwaway fabric and returns the driver name and its capability
+// report.
+func ProbeRail(p Profile) (name string, caps RailCaps, err error) {
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	net, err := f.AddNetwork(p)
+	if err != nil {
+		return "", RailCaps{}, err
+	}
+	drv, err := drivers.New(net, 0)
+	if err != nil {
+		return "", RailCaps{}, err
+	}
+	return drv.Name(), drv.Caps(), nil
+}
+
+// Benchmark harness re-exports: the figures and tables of the paper's
+// evaluation (§5) plus the ablations, runnable by id.
+type BenchFigure = bench.Figure
+
+var (
+	// BenchFigureIDs lists every runnable figure id.
+	BenchFigureIDs = bench.FigureIDs
+	// BenchRun regenerates one figure.
+	BenchRun = bench.Run
+	// BenchFormatTable / BenchFormatCSV render a figure's data points.
+	BenchFormatTable = bench.FormatTable
+	BenchFormatCSV   = bench.FormatCSV
+)

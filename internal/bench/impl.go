@@ -117,21 +117,19 @@ func (m *madPeer) comm(i int) *madmpi.Comm {
 }
 
 func (m *madPeer) Isend(p *sim.Proc, buf []byte, dest, tag, comm int) Pending {
-	return reqPending{m.comm(comm).Isend(p, buf, dest, tag)}
+	return m.comm(comm).Isend(p, buf, dest, tag)
 }
 
 func (m *madPeer) Irecv(p *sim.Proc, buf []byte, src, tag, comm int) Pending {
-	return reqPending{m.comm(comm).Irecv(p, buf, src, tag)}
+	return m.comm(comm).Irecv(p, buf, src, tag)
 }
 
 func (m *madPeer) SendTyped(p *sim.Proc, base []byte, segs []Seg, dest, tag, comm int) error {
-	_, err := m.comm(comm).IsendTyped(p, base, segsToDatatype(segs), 1, dest, tag).Wait(p)
-	return err
+	return m.comm(comm).IsendTyped(p, base, segsToDatatype(segs), 1, dest, tag).Wait(p)
 }
 
 func (m *madPeer) RecvTyped(p *sim.Proc, base []byte, segs []Seg, src, tag, comm int) error {
-	_, err := m.comm(comm).IrecvTyped(p, base, segsToDatatype(segs), 1, src, tag).Wait(p)
-	return err
+	return m.comm(comm).IrecvTyped(p, base, segsToDatatype(segs), 1, src, tag).Wait(p)
 }
 
 // Stats exposes the engine counters for assertions and reports.
@@ -145,13 +143,6 @@ func segsToDatatype(segs []Seg) madmpi.Datatype {
 		displs[i] = s.Off
 	}
 	return madmpi.Hindexed(lens, displs, madmpi.Byte)
-}
-
-type reqPending struct{ r *madmpi.Request }
-
-func (q reqPending) Wait(p *sim.Proc) error {
-	_, err := q.r.Wait(p)
-	return err
 }
 
 // basePeer adapts a baseline rank to the Peer interface.

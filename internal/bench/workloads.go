@@ -42,7 +42,7 @@ func CompositeControlLatency(impl Impl, profs []simnet.Profile, bulkSize, nbulk 
 			if i == half {
 				sentAt = p.Now()
 				if mp, ok := p0.(*madPeer); ok && prio {
-					reqs = append(reqs, reqPending{mp.comm(ctrlComm).IsendPriority(p, []byte("ctrl"), 1, 0)})
+					reqs = append(reqs, mp.comm(ctrlComm).IsendPriority(p, []byte("ctrl"), 1, 0))
 				} else {
 					reqs = append(reqs, p0.Isend(p, []byte("ctrl"), 1, 0, ctrlComm))
 				}

@@ -654,7 +654,7 @@ func TestPriorityStrategyDeliversUrgentFirst(t *testing.T) {
 			g.Isend(p, Tag(100+i), make([]byte, 8<<10))
 		}
 		// Urgent piece submitted last.
-		g.IsendOpts(p, 999, []byte("rpc-service-id"), SendOptions{Flags: FlagPriority, Driver: AnyDriver})
+		g.Isend(p, 999, []byte("rpc-service-id"), Priority())
 	})
 	w.Spawn("recv", func(p *sim.Proc) {
 		var reqs []*RecvRequest

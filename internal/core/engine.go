@@ -205,6 +205,42 @@ func (e *Engine) chargeSubmit(p *sim.Proc) {
 	}
 }
 
+// chargeCopy models a host memcpy of n bytes on the submitting process
+// (the software-gather fallback of the collect layer).
+func (e *Engine) chargeCopy(p *sim.Proc, n int) {
+	if p != nil && n > 0 {
+		p.Sleep(e.node.CopyCost(n))
+	}
+}
+
+// needsFlatten reports whether no rail eligible for a wrapper (its
+// pinned rail, or every rail for the common list) can move it without a
+// software gather: a rail carries the wrapper when it either gathers
+// the segments natively or switches it to rendezvous — the RTS is
+// header-only on the wire and the body chunker respects the gather
+// capacity.
+func (e *Engine) needsFlatten(driver, segs, size int) bool {
+	stuck := func(d drivers.Driver) bool {
+		c := d.Caps()
+		if segs <= c.MaxSegments {
+			return false // gatherable as-is
+		}
+		if c.RdvThreshold > 0 && size >= c.RdvThreshold {
+			return false // travels as a rendezvous
+		}
+		return true
+	}
+	if driver != AnyDriver {
+		return stuck(e.drvs[driver])
+	}
+	for _, d := range e.drvs {
+		if !stuck(d) {
+			return false
+		}
+	}
+	return true
+}
+
 // traceEvent records one event when tracing is enabled. The Kind-specific
 // fields ride in ev; node and time are filled here.
 func (e *Engine) traceEvent(kind trace.Kind, peer simnet.NodeID, rail int, tag Tag, bytes, entries int, note string) {
@@ -229,7 +265,7 @@ func (e *Engine) submit(pw *packet) {
 	pw.submittedAt = e.world.Now()
 	pw.gate.win.push(pw)
 	e.stats.Submitted++
-	e.traceEvent(trace.Submit, pw.gate.peer, -1, pw.tag, len(pw.data), 0, pw.kind.String())
+	e.traceEvent(trace.Submit, pw.gate.peer, -1, pw.tag, pw.payloadLen(), 0, pw.kind.String())
 	e.pumpAll()
 	if e.opts.FlushBacklog > 0 {
 		e.flush(pw.gate)
@@ -342,11 +378,14 @@ func (e *Engine) flush(g *Gate) {
 
 // prepare converts oversized data wrappers into rendezvous requests, so
 // strategies only ever see wrappers that fit the eager protocol (plus
-// body chunks, which are exempt).
+// body chunks, which are exempt). Vector wrappers wider than every
+// eligible rail's gather list were already flattened (and the copy
+// charged) at submission; a wrapper that merely exceeds THIS rail's
+// capacity is left for a wider rail — strategies skip it.
 func (e *Engine) prepare(g *Gate, drv int, caps drivers.Caps) {
 	var oversized []*packet
 	g.win.scan(drv, func(pw *packet) bool {
-		if pw.kind == kindData && caps.RdvThreshold > 0 && len(pw.data) >= caps.RdvThreshold {
+		if pw.kind == kindData && caps.RdvThreshold > 0 && pw.payloadLen() >= caps.RdvThreshold {
 			oversized = append(oversized, pw)
 		}
 		return true
@@ -378,9 +417,9 @@ func (e *Engine) account(g *Gate, drv int, out *output) {
 			hasData = true // body bytes were counted at startBody time
 		default:
 			hasData = true
-			e.stats.EagerBytes += int64(len(pw.data))
+			e.stats.EagerBytes += int64(pw.payloadLen())
 		}
-		e.stats.PerDriverBytes[drv] += int64(len(pw.data))
+		e.stats.PerDriverBytes[drv] += int64(pw.payloadLen())
 	}
 	if hasData && hasCtrl {
 		e.stats.CtrlPiggybacked++
@@ -412,7 +451,7 @@ func (e *Engine) send(g *Gate, drv int, out *output) {
 	entries := out.entries
 	payload := 0
 	for _, pw := range entries {
-		payload += len(pw.data)
+		payload += pw.payloadLen()
 	}
 	t0 := e.world.Now()
 	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {

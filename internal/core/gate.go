@@ -29,13 +29,51 @@ func (g *Gate) Peer() simnet.NodeID { return g.peer }
 // Engine returns the owning engine.
 func (g *Gate) Engine() *Engine { return g.eng }
 
-// SendOptions tunes one submission.
-type SendOptions struct {
-	// Flags set the scheduling/delivery hints on the wrapper.
-	Flags Flags
-	// Driver pins the wrapper to one rail (index into Engine.Drivers),
+// sendConfig is the resolved scheduling configuration of one submission.
+type sendConfig struct {
+	// flags carry the scheduling/delivery hints on the wrapper.
+	flags Flags
+	// driver pins the wrapper to one rail (index into Engine.Drivers),
 	// or AnyDriver for the load-balanced common list.
-	Driver int
+	driver int
+}
+
+// SendOption tunes one submission: Priority, Unordered, Synchronous,
+// OnRail. Options replace the raw flag/driver struct literals of earlier
+// versions at the API boundary.
+type SendOption func(*sendConfig)
+
+// Priority asks the optimizer to favor earliest delivery of this
+// submission (the paper's RPC service-id pattern).
+func Priority() SendOption {
+	return func(c *sendConfig) { c.flags |= FlagPriority }
+}
+
+// Unordered lets the receiver deliver this submission as soon as it
+// arrives, outside the per-flow sequence order.
+func Unordered() SendOption {
+	return func(c *sendConfig) { c.flags |= FlagUnordered }
+}
+
+// Synchronous completes the send only once the receiver has matched it
+// (MPI_Issend semantics).
+func Synchronous() SendOption {
+	return func(c *sendConfig) { c.flags |= FlagNeedAck }
+}
+
+// OnRail pins the submission to one rail (an index into Engine.Drivers)
+// instead of the load-balanced common list.
+func OnRail(driver int) SendOption {
+	return func(c *sendConfig) { c.driver = driver }
+}
+
+// resolveSend folds options over the default configuration.
+func resolveSend(opts []SendOption) sendConfig {
+	c := sendConfig{driver: AnyDriver}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
 }
 
 // Isend submits one piece of data on flow tag and returns immediately.
@@ -43,32 +81,50 @@ type SendOptions struct {
 // rendezvous sends, when the body has fully streamed out). p may be nil
 // when calling from non-process context; the submit overhead is then not
 // charged.
-func (g *Gate) Isend(p *sim.Proc, tag Tag, data []byte) *SendRequest {
-	return g.IsendOpts(p, tag, data, SendOptions{Driver: AnyDriver})
+func (g *Gate) Isend(p *sim.Proc, tag Tag, data []byte, opts ...SendOption) *SendRequest {
+	return g.isendIov(p, tag, singleIov(data), resolveSend(opts))
 }
 
-// IsendOpts is Isend with explicit options.
-func (g *Gate) IsendOpts(p *sim.Proc, tag Tag, data []byte, opts SendOptions) *SendRequest {
+// Isendv is the vector form of Isend: the segments of the iovec travel as
+// one wrapper — one wire entry under one header, NIC-gathered straight
+// from user space. This is how a non-contiguous datatype submits its
+// blocks so the strategies can aggregate and reorder the whole layout
+// natively (the paper's §5.3 optimization without per-block requests).
+func (g *Gate) Isendv(p *sim.Proc, tag Tag, segs [][]byte, opts ...SendOption) *SendRequest {
+	return g.isendIov(p, tag, iovec(segs), resolveSend(opts))
+}
+
+func (g *Gate) isendIov(p *sim.Proc, tag Tag, iov iovec, cfg sendConfig) *SendRequest {
 	if len(g.eng.drvs) == 0 {
 		req := &SendRequest{request: request{eng: g.eng}, tag: tag}
 		req.complete(errNoDrivers)
 		return req
 	}
 	g.eng.chargeSubmit(p)
-	req := &SendRequest{request: request{eng: g.eng}, tag: tag, bytes: len(data)}
+	size := iov.total()
+	if g.eng.needsFlatten(cfg.driver, 1+iov.segCount(), size) {
+		// Software gather in the collect layer: no eligible rail can
+		// move this many segments natively (or via rendezvous), so
+		// flatten once here and charge the memcpy to the submitting
+		// process — the same price the transfer-layer bounce buffers
+		// charge (and what MPICH pays for every non-contiguous send).
+		iov = iovec{iov.flatten()}
+		g.eng.chargeCopy(p, size)
+	}
+	req := &SendRequest{request: request{eng: g.eng}, tag: tag, bytes: size}
 	req.add(1)
 	pw := &packet{
 		gate:   g,
 		kind:   kindData,
-		flags:  opts.Flags,
+		flags:  cfg.flags,
 		tag:    tag,
 		seq:    g.nextSeq(tag),
-		data:   data,
-		size:   uint32(len(data)),
-		driver: opts.Driver,
+		iov:    iov,
+		size:   uint32(size),
+		driver: cfg.driver,
 		req:    req,
 	}
-	if opts.Flags&FlagNeedAck != 0 {
+	if cfg.flags&FlagNeedAck != 0 {
 		// Synchronous semantics: an extra completion unit retired only by
 		// the receiver's ack.
 		req.add(1)
@@ -85,8 +141,8 @@ func (g *Gate) IsendOpts(p *sim.Proc, tag Tag, data []byte, opts SendOptions) *S
 // messages above the rendezvous threshold this is free — the rendezvous
 // handshake already implies a match; below it the receiver returns an ack
 // control entry.
-func (g *Gate) Issend(p *sim.Proc, tag Tag, data []byte) *SendRequest {
-	return g.IsendOpts(p, tag, data, SendOptions{Flags: FlagNeedAck, Driver: AnyDriver})
+func (g *Gate) Issend(p *sim.Proc, tag Tag, data []byte, opts ...SendOption) *SendRequest {
+	return g.Isend(p, tag, data, append(opts, Synchronous())...)
 }
 
 // Ssend is the blocking form of Issend.
@@ -128,15 +184,27 @@ func (g *Gate) Send(p *sim.Proc, tag Tag, data []byte) error {
 // Irecv posts a receive for the next message on flow tag, delivering into
 // buf. The request completes once the payload is in place.
 func (g *Gate) Irecv(p *sim.Proc, tag Tag, buf []byte) *RecvRequest {
-	return g.IrecvMasked(p, tag, ^Tag(0), buf)
+	return g.irecvIov(p, tag, ^Tag(0), singleIov(buf))
+}
+
+// Irecvv is the vector form of Irecv: the payload of the matched message
+// scatters across the iovec segments in order, with no staging copy. It
+// pairs with Isendv — the usual contract of matching layouts on both
+// sides.
+func (g *Gate) Irecvv(p *sim.Proc, tag Tag, segs [][]byte) *RecvRequest {
+	return g.irecvIov(p, tag, ^Tag(0), iovec(segs))
 }
 
 // IrecvMasked posts a wildcard receive: it matches the first arriving
 // message whose tag satisfies tag&mask == want. MAD-MPI builds ANY_TAG
 // receives on it by masking out the user-tag bits.
 func (g *Gate) IrecvMasked(p *sim.Proc, want, mask Tag, buf []byte) *RecvRequest {
+	return g.irecvIov(p, want, mask, singleIov(buf))
+}
+
+func (g *Gate) irecvIov(p *sim.Proc, want, mask Tag, iov iovec) *RecvRequest {
 	g.eng.chargeSubmit(p)
-	req := &RecvRequest{request: request{eng: g.eng}, want: want & mask, mask: mask, buf: buf}
+	req := &RecvRequest{request: request{eng: g.eng}, want: want & mask, mask: mask, iov: iov}
 	if !g.matchUnexpected(req) {
 		g.posted = append(g.posted, req)
 	}

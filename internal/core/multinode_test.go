@@ -118,7 +118,7 @@ func TestDriverPinningRoutesToOneRail(t *testing.T) {
 	e0, e1 := engines[0], engines[1]
 	w.Spawn("send", func(p *sim.Proc) {
 		for i := 0; i < 8; i++ {
-			e0.Gate(1).IsendOpts(p, Tag(i), make([]byte, 512), SendOptions{Driver: 1})
+			e0.Gate(1).Isend(p, Tag(i), make([]byte, 512), OnRail(1))
 		}
 	})
 	w.Spawn("recv", func(p *sim.Proc) {
@@ -177,7 +177,7 @@ func TestUnorderedFlagBypassesResequencing(t *testing.T) {
 	got := map[byte]bool{}
 	w.Spawn("send", func(p *sim.Proc) {
 		for i := 0; i < n; i++ {
-			e0.Gate(1).IsendOpts(p, 3, []byte{byte(i)}, SendOptions{Flags: FlagUnordered, Driver: AnyDriver})
+			e0.Gate(1).Isend(p, 3, []byte{byte(i)}, Unordered())
 		}
 	})
 	w.Spawn("recv", func(p *sim.Proc) {

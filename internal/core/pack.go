@@ -13,49 +13,32 @@ import "nmad/internal/sim"
 type Message struct {
 	g     *Gate
 	tag   Tag
-	opts  SendOptions
+	cfg   sendConfig
 	req   *SendRequest
 	ended bool
 }
 
-// BeginPack starts a message on the given flow.
-func (g *Gate) BeginPack(p *sim.Proc, tag Tag) *Message {
-	return g.BeginPackOpts(p, tag, SendOptions{Driver: AnyDriver})
-}
-
-// BeginPackOpts starts a message with explicit scheduling options.
-func (g *Gate) BeginPackOpts(p *sim.Proc, tag Tag, opts SendOptions) *Message {
+// BeginPack starts a message on the given flow. Options apply to every
+// packed piece.
+func (g *Gate) BeginPack(p *sim.Proc, tag Tag, opts ...SendOption) *Message {
 	req := &SendRequest{request: request{eng: g.eng}, tag: tag}
 	req.add(1) // construction hold, released by End
-	return &Message{g: g, tag: tag, opts: opts, req: req}
+	return &Message{g: g, tag: tag, cfg: resolveSend(opts), req: req}
 }
 
 // Pack appends one piece of data to the message. The piece may start
 // traveling immediately; the engine decides.
 func (m *Message) Pack(p *sim.Proc, data []byte) {
-	if m.ended {
-		panic("core: Pack after End")
-	}
-	m.g.eng.chargeSubmit(p)
-	m.req.add(1)
-	m.req.bytes += len(data)
-	pw := &packet{
-		gate:   m.g,
-		kind:   kindData,
-		flags:  m.opts.Flags,
-		tag:    m.tag,
-		seq:    m.g.nextSeq(m.tag),
-		data:   data,
-		size:   uint32(len(data)),
-		driver: m.opts.Driver,
-		req:    m.req,
-	}
-	m.g.eng.submit(pw)
+	m.pack(p, data, m.cfg.flags)
 }
 
 // PackPriority appends a piece flagged for earliest delivery (the RPC
 // service-id pattern of the paper's §2).
 func (m *Message) PackPriority(p *sim.Proc, data []byte) {
+	m.pack(p, data, m.cfg.flags|FlagPriority)
+}
+
+func (m *Message) pack(p *sim.Proc, data []byte, flags Flags) {
 	if m.ended {
 		panic("core: Pack after End")
 	}
@@ -65,12 +48,12 @@ func (m *Message) PackPriority(p *sim.Proc, data []byte) {
 	pw := &packet{
 		gate:   m.g,
 		kind:   kindData,
-		flags:  m.opts.Flags | FlagPriority,
+		flags:  flags,
 		tag:    m.tag,
 		seq:    m.g.nextSeq(m.tag),
-		data:   data,
+		iov:    singleIov(data),
 		size:   uint32(len(data)),
-		driver: m.opts.Driver,
+		driver: m.cfg.driver,
 		req:    m.req,
 	}
 	m.g.eng.submit(pw)

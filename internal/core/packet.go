@@ -11,16 +11,18 @@ const AnyDriver = -1
 // packet is a packet wrapper ("pw" in NewMadeleine): one piece of
 // application data plus the metadata the receiving side needs. Packet
 // wrappers live in the optimization window until a strategy elects them
-// into a physical output packet.
+// into a physical output packet. The payload is an iovec: a plain Isend
+// carries one segment, a vector send (Isendv) several — either way it is
+// one wire entry under one header.
 type packet struct {
 	gate  *Gate
 	kind  entryKind
 	flags Flags
 	tag   Tag
 	seq   SeqNum
-	data  []byte // payload for data entries; nil for control entries
+	iov   iovec  // payload segments for data entries; nil for control entries
 	aux   uint32 // rendezvous id for rts/cts
-	size  uint32 // body size for rts; len(data) otherwise
+	size  uint32 // body size for rts; payload length otherwise
 
 	// driver pins the wrapper to one rail, or AnyDriver for the common
 	// list.
@@ -34,18 +36,22 @@ type packet struct {
 	req *SendRequest
 }
 
+// payloadLen is the wrapper's logical payload size (0 for control
+// entries).
+func (pw *packet) payloadLen() int { return pw.iov.total() }
+
 // wireSize is the wrapper's footprint inside an output packet.
 func (pw *packet) wireSize() int {
 	if pw.kind.hasPayload() {
-		return headerSize + len(pw.data)
+		return headerSize + pw.payloadLen()
 	}
 	return headerSize
 }
 
 // segCount is the number of NIC gather segments the wrapper occupies.
 func (pw *packet) segCount() int {
-	if pw.kind.hasPayload() && len(pw.data) > 0 {
-		return 2 // header + payload
+	if pw.kind.hasPayload() {
+		return 1 + pw.iov.segCount() // header + payload segments
 	}
 	return 1
 }
@@ -177,8 +183,8 @@ type output struct {
 }
 
 // encode turns the output into a NIC gather list: one segment per header,
-// one per payload. Headers are packed into a single backing array to keep
-// allocation flat.
+// one per payload segment. Headers are packed into a single backing array
+// to keep allocation flat.
 func (o *output) encode() [][]byte {
 	hdrs := make([]byte, 0, headerSize*len(o.entries))
 	segs := make([][]byte, 0, 2*len(o.entries))
@@ -186,8 +192,8 @@ func (o *output) encode() [][]byte {
 		start := len(hdrs)
 		hdrs = encodeHeader(hdrs, pw.header())
 		segs = append(segs, hdrs[start:start+headerSize])
-		if pw.kind.hasPayload() && len(pw.data) > 0 {
-			segs = append(segs, pw.data)
+		if pw.kind.hasPayload() {
+			segs = pw.iov.appendSegs(segs)
 		}
 	}
 	return segs

@@ -17,13 +17,15 @@ import (
 // capable rails, eager chunk entries into the registered landing buffer
 // otherwise, possibly split across several rails by the strategy.
 
-// rdvSend is the sender-side state of one rendezvous transaction.
+// rdvSend is the sender-side state of one rendezvous transaction. The
+// body is an iovec: a vector send streams straight out of its scattered
+// user-space segments.
 type rdvSend struct {
 	id   uint32
 	gate *Gate
 	tag  Tag
 	seq  SeqNum
-	body []byte
+	body iovec
 	req  *SendRequest
 	left int // chunks not yet fully sent
 }
@@ -63,13 +65,14 @@ func (e *Engine) convertToRTS(pw *packet) *packet {
 	}
 	e.nextRdvID++
 	id := e.nextRdvID
+	size := pw.payloadLen()
 	rts := &packet{
 		gate:   pw.gate,
 		kind:   kindRTS,
 		flags:  pw.flags,
 		tag:    pw.tag,
 		seq:    pw.seq,
-		size:   uint32(len(pw.data)),
+		size:   uint32(size),
 		aux:    id,
 		driver: pw.driver,
 		req:    pw.req,
@@ -79,14 +82,14 @@ func (e *Engine) convertToRTS(pw *packet) *packet {
 		gate: pw.gate,
 		tag:  pw.tag,
 		seq:  pw.seq,
-		body: pw.data,
+		body: pw.iov,
 		req:  pw.req,
 	}
 	if !pw.gate.win.replace(pw, rts) {
 		panic("core: rendezvous conversion of a wrapper not in the window")
 	}
 	e.stats.RdvStarted++
-	e.traceEvent(trace.RdvStart, pw.gate.peer, -1, pw.tag, len(pw.data), 0, "")
+	e.traceEvent(trace.RdvStart, pw.gate.peer, -1, pw.tag, size, 0, "")
 	return rts
 }
 
@@ -115,7 +118,7 @@ func (e *Engine) onCTS(h header) {
 // startBody distributes the body per the strategy's plan and arranges
 // completion accounting.
 func (e *Engine) startBody(rs *rdvSend) {
-	size := len(rs.body)
+	size := rs.body.total()
 	var plan []BodyShare
 	if bp, ok := e.strat.(BodyPlanner); ok && len(e.drvs) > 1 {
 		plan = bp.PlanBody(e, size)
@@ -145,12 +148,21 @@ func (e *Engine) startBody(rs *rdvSend) {
 				csize = defaultBodyChunkNonRDMA
 			}
 		}
-		for off := share.Offset; off < share.Offset+share.Size; off += csize {
-			end := off + csize
-			if end > share.Offset+share.Size {
-				end = share.Offset + share.Size
+		// One gather slot is reserved for the chunk header on non-RDMA
+		// rails; respecting the capacity here keeps vector bodies within
+		// the rail's native gather list.
+		segCap := caps.MaxSegments - 1
+		if segCap <= 0 {
+			segCap = 1
+		}
+		for off := share.Offset; off < share.Offset+share.Size; {
+			n := csize
+			if rest := share.Offset + share.Size - off; n > rest {
+				n = rest
 			}
-			chunks = append(chunks, chunk{drv: share.Driver, off: off, len: end - off, rdma: caps.RDMA})
+			n = rs.body.capSegs(off, n, segCap)
+			chunks = append(chunks, chunk{drv: share.Driver, off: off, len: n, rdma: caps.RDMA})
+			off += n
 		}
 	}
 	if len(chunks) == 0 {
@@ -172,7 +184,7 @@ func (e *Engine) startBody(rs *rdvSend) {
 	}
 
 	for _, c := range chunks {
-		data := rs.body[c.off : c.off+c.len]
+		data := rs.body.slice(c.off, c.len)
 		e.stats.BodyBytes += int64(c.len)
 		if c.rdma {
 			e.stats.PerDriverBytes[c.drv] += int64(c.len)
@@ -181,7 +193,7 @@ func (e *Engine) startBody(rs *rdvSend) {
 			drv := c.drv
 			size := c.len
 			t0 := e.world.Now()
-			err := e.drvs[c.drv].Send(rs.gate.peer, simnet.TxRdma, [][]byte{data}, aux, func() {
+			err := e.drvs[c.drv].Send(rs.gate.peer, simnet.TxRdma, data, aux, func() {
 				e.samplers[drv].observe(size, e.world.Now()-t0)
 				req.doneOne()
 				retire()
@@ -199,7 +211,7 @@ func (e *Engine) startBody(rs *rdvSend) {
 			flags:  FlagUnordered,
 			tag:    rs.tag,
 			seq:    SeqNum(uint32(c.off)), // chunk offset rides the seq field
-			data:   data,
+			iov:    data,
 			size:   uint32(c.len),
 			aux:    rs.id,
 			driver: c.drv,
@@ -224,9 +236,7 @@ func (e *Engine) onBody(src simnet.NodeID, id uint32, offset int, data []byte) {
 		panic(fmt.Sprintf("core: body fragment for unknown rendezvous %v", key))
 	}
 	r := rr.req
-	if offset < len(r.buf) {
-		copy(r.buf[offset:], data)
-	}
+	r.iov.copyAt(offset, data)
 	rr.remaining -= len(data)
 	if rr.remaining < 0 {
 		panic(fmt.Sprintf("core: rendezvous %v over-delivered", key))
@@ -236,8 +246,8 @@ func (e *Engine) onBody(src simnet.NodeID, id uint32, offset int, data []byte) {
 		delete(e.rdvRecv, key)
 		var err error
 		r.n = rr.total
-		if rr.total > len(r.buf) {
-			r.n = len(r.buf)
+		if room := r.iov.total(); rr.total > room {
+			r.n = room
 			err = ErrTruncated
 		}
 		r.complete(err)

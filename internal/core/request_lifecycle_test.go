@@ -1,0 +1,257 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nmad/internal/sim"
+)
+
+// Tests for the unified Request interface: completion state machines,
+// WaitAll / WaitAny on the shared condition variable, request groups.
+
+func TestWaitAfterCompletionReturnsStoredError(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	w.Spawn("send", func(p *sim.Proc) {
+		e0.Gate(1).Isend(p, 2, []byte("0123456789"))
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		req := e1.Gate(0).Irecv(p, 2, make([]byte, 4))
+		if err := req.Wait(p); !errors.Is(err, ErrTruncated) {
+			t.Errorf("first Wait = %v, want ErrTruncated", err)
+		}
+		// A completed request must keep reporting its stored error on
+		// every later interrogation, without blocking.
+		for i := 0; i < 3; i++ {
+			if err := req.Wait(p); !errors.Is(err, ErrTruncated) {
+				t.Errorf("Wait after completion = %v, want the stored ErrTruncated", err)
+			}
+		}
+		if !req.Done() || !req.Test() {
+			t.Error("Done/Test false after completion")
+		}
+		if err := req.Err(); !errors.Is(err, ErrTruncated) {
+			t.Errorf("Err = %v, want the stored ErrTruncated", err)
+		}
+	})
+	run(t, w)
+}
+
+func TestTestNeverBlocks(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	w.Spawn("recv", func(p *sim.Proc) {
+		// No sender yet: Test must report false an arbitrary number of
+		// times without ever blocking the process (time only advances by
+		// our explicit sleeps).
+		req := e1.Gate(0).Irecv(p, 7, make([]byte, 8))
+		for i := 0; i < 50; i++ {
+			before := p.Now()
+			if req.Test() {
+				t.Fatal("Test true before any send")
+			}
+			if p.Now() != before {
+				t.Fatal("Test advanced virtual time: it blocked")
+			}
+		}
+		p.Sleep(sim.Millisecond) // let the late sender run
+		if !req.Test() {
+			t.Error("Test false after the message landed")
+		}
+		if err := req.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	w.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(50 * sim.Microsecond)
+		if err := e0.Gate(1).Send(p, 7, []byte("late")); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, w)
+}
+
+func TestWaitAnyWithAlreadyDoneRequest(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	w.Spawn("send", func(p *sim.Proc) {
+		if err := e0.Gate(1).Send(p, 1, []byte("first")); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(300 * sim.Microsecond)
+		if err := e0.Gate(1).Send(p, 2, []byte("second")); err != nil {
+			t.Error(err)
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		fast := e1.Gate(0).Irecv(p, 1, make([]byte, 8))
+		slow := e1.Gate(0).Irecv(p, 2, make([]byte, 8))
+		if err := fast.Wait(p); err != nil { // complete it first
+			t.Fatal(err)
+		}
+		before := p.Now()
+		idx, err := WaitAny(p, fast, slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 0 {
+			t.Errorf("WaitAny picked %d, want the already-done request 0", idx)
+		}
+		if p.Now() != before {
+			t.Error("WaitAny blocked although a request was already done")
+		}
+		// And with only the pending one it must actually wait.
+		if idx, err = WaitAny(p, slow); err != nil || idx != 0 {
+			t.Errorf("WaitAny(slow) = %d, %v", idx, err)
+		}
+	})
+	run(t, w)
+}
+
+func TestWaitAnyPicksTheFirstCompletion(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	w.Spawn("send", func(p *sim.Proc) {
+		p.Sleep(100 * sim.Microsecond)
+		if err := e0.Gate(1).Send(p, 2, []byte("only-this-flow")); err != nil {
+			t.Error(err)
+		}
+		if err := e0.Gate(1).Send(p, 1, []byte("then-this")); err != nil {
+			t.Error(err)
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		a := e1.Gate(0).Irecv(p, 1, make([]byte, 16))
+		b := e1.Gate(0).Irecv(p, 2, make([]byte, 16))
+		idx, err := WaitAny(p, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 1 {
+			t.Errorf("WaitAny picked %d, want 1 (tag 2 was sent first)", idx)
+		}
+		if err := WaitAll(p, a, b); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, w)
+}
+
+func TestWaitAnyAcrossEngines(t *testing.T) {
+	// Requests from two different engines: the request that can never be
+	// signalled through the first engine's cond must not stall the one
+	// completing on the other engine.
+	w, engines := nWorld(t, 3, DefaultOptions())
+	e0, e2 := engines[0], engines[2]
+	w.Spawn("driver", func(p *sim.Proc) {
+		// A receive on e0 from node 1 that is matched only much later...
+		stuck := e0.Gate(1).Irecv(p, 5, make([]byte, 8))
+		// ...and a send on e2, a different engine, that completes fast.
+		fast := e2.Gate(1).Isend(p, 6, []byte("quick"))
+		idx, err := WaitAny(p, stuck, fast)
+		if err != nil {
+			t.Error(err)
+		}
+		if idx != 1 {
+			t.Errorf("WaitAny picked %d, want the cross-engine send (1)", idx)
+		}
+		if err := stuck.Wait(p); err != nil {
+			t.Error(err)
+		}
+	})
+	w.Spawn("node1", func(p *sim.Proc) {
+		e1 := engines[1]
+		if _, err := e1.Gate(2).Recv(p, 6, make([]byte, 8)); err != nil {
+			t.Error(err)
+		}
+		p.Sleep(500 * sim.Microsecond)
+		if err := e1.Gate(0).Send(p, 5, []byte("late")); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, w)
+}
+
+func TestWaitAnyNoRequests(t *testing.T) {
+	if _, err := WaitAny(nil); !errors.Is(err, ErrNoRequests) {
+		t.Errorf("WaitAny() = %v, want ErrNoRequests", err)
+	}
+}
+
+func TestWaitAllReportsFirstError(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	w.Spawn("send", func(p *sim.Proc) {
+		e0.Gate(1).Isend(p, 1, []byte("fits"))
+		e0.Gate(1).Isend(p, 2, []byte("does not fit"))
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		ok := e1.Gate(0).Irecv(p, 1, make([]byte, 16))
+		short := e1.Gate(0).Irecv(p, 2, make([]byte, 2))
+		if err := WaitAll(p, ok, short); !errors.Is(err, ErrTruncated) {
+			t.Errorf("WaitAll = %v, want the truncation error", err)
+		}
+	})
+	run(t, w)
+}
+
+func TestRequestGroupUnifiesSendAndRecv(t *testing.T) {
+	w, e0, e1 := testWorld(t, DefaultOptions())
+	msg := []byte("grouped")
+	w.Spawn("node0", func(p *sim.Proc) {
+		g := e0.Gate(1)
+		buf := make([]byte, 16)
+		grp := NewRequestGroup(g.Isend(p, 1, msg), g.Irecv(p, 2, buf))
+		if grp.Done() {
+			t.Error("group done before any traffic")
+		}
+		if err := grp.Wait(p); err != nil {
+			t.Error(err)
+		}
+		if !grp.Test() || grp.Err() != nil {
+			t.Error("group state wrong after Wait")
+		}
+		if grp.Bytes() != len(msg)+len(msg) {
+			t.Errorf("group Bytes = %d, want %d", grp.Bytes(), 2*len(msg))
+		}
+		if !bytes.Equal(buf[:len(msg)], msg) {
+			t.Errorf("group receive got %q", buf[:len(msg)])
+		}
+	})
+	w.Spawn("node1", func(p *sim.Proc) {
+		g := e1.Gate(0)
+		buf := make([]byte, 16)
+		if err := WaitAll(p, g.Irecv(p, 1, buf), g.Isend(p, 2, msg)); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, w)
+}
+
+func TestFailedRequestIsImmediatelyDone(t *testing.T) {
+	boom := errors.New("boom")
+	r := FailedRequest(boom)
+	if !r.Done() || !r.Test() {
+		t.Error("failed request must be done immediately")
+	}
+	if err := r.Wait(nil); !errors.Is(err, boom) {
+		t.Errorf("Wait = %v, want the stored error", err)
+	}
+	if err := r.Err(); !errors.Is(err, boom) {
+		t.Errorf("Err = %v, want the stored error", err)
+	}
+	if r.Bytes() != 0 {
+		t.Errorf("Bytes = %d, want 0", r.Bytes())
+	}
+	// WaitAny over a failed request returns it (with its error), rather
+	// than trying to block on a missing engine.
+	idx, err := WaitAny(nil, r)
+	if idx != 0 || !errors.Is(err, boom) {
+		t.Errorf("WaitAny(failed) = %d, %v", idx, err)
+	}
+}
+
+// The interface is the contract: every handle the engine produces must
+// satisfy it.
+var (
+	_ Request = (*SendRequest)(nil)
+	_ Request = (*RecvRequest)(nil)
+	_ Request = (*RequestGroup)(nil)
+)

@@ -135,10 +135,12 @@ func (e *Engine) consume(g *Gate, r *RecvRequest, h header, payload []byte) {
 	e.traceEvent(trace.Deliver, g.peer, -1, h.tag, len(payload), 0, h.kind.String())
 	switch h.kind {
 	case kindData:
-		n := copy(r.buf, payload)
+		// Scatter the payload across the receive iovec (one segment for a
+		// plain Irecv); whatever exceeds the landing area is dropped.
+		n := r.iov.copyAt(0, payload)
 		r.n = n
 		var err error
-		if len(payload) > len(r.buf) {
+		if len(payload) > r.iov.total() {
 			err = ErrTruncated
 		}
 		if h.flags&FlagNeedAck != 0 {

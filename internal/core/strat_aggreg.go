@@ -60,8 +60,12 @@ func (aggregStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
 	if len(entries) == 0 {
 		// Guarantee progress: a lone wrapper larger than the aggregation
 		// limit (a rendezvous body chunk on a non-RDMA rail) still goes
-		// out, alone.
+		// out, alone — but never one whose gather list this rail cannot
+		// accept; a wider rail will take it.
 		g.win.scan(driver, func(pw *packet) bool {
+			if pw.segCount() > maxSegs {
+				return true
+			}
 			entries = append(entries, pw)
 			return false
 		})

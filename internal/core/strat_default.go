@@ -13,6 +13,9 @@ func (defaultStrategy) Name() string { return "default" }
 func (defaultStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
 	var head *packet
 	g.win.scan(driver, func(pw *packet) bool {
+		if pw.segCount() > caps.MaxSegments {
+			return true // this rail cannot gather it; a wider rail will
+		}
 		head = pw
 		return false
 	})

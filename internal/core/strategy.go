@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nmad/internal/drivers"
 )
@@ -46,12 +47,19 @@ type BodyShare struct {
 }
 
 // The strategy registry — the paper's "extensible and programmable set of
-// strategies", selectable by name at engine construction.
-var strategyRegistry = map[string]func() Strategy{}
+// strategies", selectable by name at engine construction. The RWMutex
+// makes registration and lookup safe for concurrent engine construction
+// (many clusters assembled from parallel tests or goroutines).
+var (
+	strategyMu       sync.RWMutex
+	strategyRegistry = map[string]func() Strategy{}
+)
 
 // RegisterStrategy adds a constructor to the registry. Registering a
 // duplicate name panics: strategy names are global configuration keys.
 func RegisterStrategy(name string, mk func() Strategy) {
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
 	if _, dup := strategyRegistry[name]; dup {
 		panic("core: duplicate strategy " + name)
 	}
@@ -60,7 +68,9 @@ func RegisterStrategy(name string, mk func() Strategy) {
 
 // NewStrategy instantiates a registered strategy by name.
 func NewStrategy(name string) (Strategy, error) {
+	strategyMu.RLock()
 	mk, ok := strategyRegistry[name]
+	strategyMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown strategy %q (have %v)", name, StrategyNames())
 	}
@@ -69,6 +79,8 @@ func NewStrategy(name string) (Strategy, error) {
 
 // StrategyNames lists the registered strategies in sorted order.
 func StrategyNames() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
 	names := make([]string, 0, len(strategyRegistry))
 	for n := range strategyRegistry {
 		names = append(names, n)

@@ -38,7 +38,7 @@ func TestIssendTestTransitions(t *testing.T) {
 			if req.Test() {
 				t.Error("Issend complete before any receive was posted")
 			}
-			if _, err := req.Wait(p); err != nil {
+			if err := req.Wait(p); err != nil {
 				t.Error(err)
 			}
 		} else {

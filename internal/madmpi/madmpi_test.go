@@ -75,7 +75,7 @@ func TestIsendIrecvWaitTest(t *testing.T) {
 		c := m.CommWorld()
 		if m.Rank() == 0 {
 			req := c.Isend(p, []byte("async"), 1, 1)
-			if _, err := req.Wait(p); err != nil {
+			if err := req.Wait(p); err != nil {
 				t.Error(err)
 			}
 			if !req.Test() {
@@ -87,7 +87,7 @@ func TestIsendIrecvWaitTest(t *testing.T) {
 			for !req.Test() {
 				p.Sleep(sim.Microsecond)
 			}
-			st, err := req.Wait(p)
+			st, err := req.WaitStatus(p)
 			if err != nil {
 				t.Error(err)
 			}
@@ -170,13 +170,13 @@ func TestSendrecvNoDeadlock(t *testing.T) {
 func TestValidationErrors(t *testing.T) {
 	job(t, 2, func(p *sim.Proc, m *MPI) {
 		c := m.CommWorld()
-		if _, err := c.Isend(p, nil, m.Rank(), 0).Wait(p); !errors.Is(err, ErrSelfMessage) {
+		if err := c.Isend(p, nil, m.Rank(), 0).Wait(p); !errors.Is(err, ErrSelfMessage) {
 			t.Errorf("self send: %v, want ErrSelfMessage", err)
 		}
-		if _, err := c.Isend(p, nil, 99, 0).Wait(p); !errors.Is(err, ErrBadRank) {
+		if err := c.Isend(p, nil, 99, 0).Wait(p); !errors.Is(err, ErrBadRank) {
 			t.Errorf("bad rank: %v, want ErrBadRank", err)
 		}
-		if _, err := c.Isend(p, nil, 1-m.Rank(), -3).Wait(p); err == nil {
+		if err := c.Isend(p, nil, 1-m.Rank(), -3).Wait(p); err == nil {
 			t.Error("negative tag must fail")
 		}
 		// Keep the job balanced so neither rank deadlocks.
@@ -386,7 +386,7 @@ func TestTypedBoundsChecked(t *testing.T) {
 		c := m.CommWorld()
 		dt := Hindexed([]int{16}, []int{100}, Byte)
 		short := make([]byte, 50)
-		if _, err := c.IsendTyped(p, short, dt, 1, 1-m.Rank(), 0).Wait(p); err == nil {
+		if err := c.IsendTyped(p, short, dt, 1, 1-m.Rank(), 0).Wait(p); err == nil {
 			t.Error("out-of-bounds datatype send must fail")
 		}
 		if err := c.Barrier(p); err != nil {
@@ -457,6 +457,32 @@ func TestAllgather(t *testing.T) {
 		for r := 0; r < 3; r++ {
 			if all[r] != byte(10+r) {
 				t.Errorf("rank %d slot %d = %d", m.Rank(), r, all[r])
+			}
+		}
+	})
+}
+
+func TestTruncatedRecvKeepsStatus(t *testing.T) {
+	// MPI_ERR_TRUNCATE semantics: the receive completes with an error,
+	// but the status still carries the matched source, tag and the
+	// delivered (truncated) count.
+	job(t, 2, func(p *sim.Proc, m *MPI) {
+		c := m.CommWorld()
+		if m.Rank() == 0 {
+			if err := c.Send(p, []byte("0123456789"), 1, 8); err != nil {
+				t.Error(err)
+			}
+		} else {
+			buf := make([]byte, 4)
+			st, err := c.Recv(p, buf, 0, 8)
+			if !errors.Is(err, core.ErrTruncated) {
+				t.Errorf("err = %v, want ErrTruncated", err)
+			}
+			if st.Source != 0 || st.Tag != 8 || st.Count != 4 {
+				t.Errorf("status %+v, want {Source:0 Tag:8 Count:4} despite the truncation", st)
+			}
+			if string(buf) != "0123" {
+				t.Errorf("payload %q", buf)
 			}
 		}
 	})

@@ -2,10 +2,12 @@
 // proof-of-concept implementation of a subset of the MPI API" on top of
 // the NewMadeleine engine (§3.4). The four point-to-point nonblocking
 // posting (Isend, Irecv) and completion (Wait, Test) operations map
-// directly onto the equivalent engine operations; communicators multiplex
-// onto engine flow tags; derived datatypes are sent one engine request
-// per block, so the scheduling strategies can aggregate the small blocks
-// with the rendezvous requests of the large blocks (§5.3).
+// directly onto the equivalent engine operations; completion itself is
+// the engine's unified core.Request layer (Request is a
+// core.RequestGroup); communicators multiplex onto engine flow tags;
+// derived datatypes flatten onto the engine's vector (iovec) path, so a
+// non-contiguous layout travels as one multi-segment wrapper the
+// scheduling strategies aggregate natively (§5.3).
 package madmpi
 
 import (
@@ -152,93 +154,87 @@ type Status struct {
 	Count  int
 }
 
-// Request is a nonblocking operation handle. Typed (derived-datatype)
-// operations fan out into several engine requests under one handle.
+// Request is a nonblocking operation handle. It is a core.RequestGroup
+// (so it satisfies the engine's unified core.Request interface — the MPI
+// layer no longer reimplements completion) plus the status bookkeeping
+// MPI semantics need. Typed (derived-datatype) operations fan their
+// engine requests into the same group.
 type Request struct {
+	*core.RequestGroup
 	comm  *Comm
-	sends []*core.SendRequest
-	recvs []*core.RecvRequest
-	err   error // immediate validation error
+	recvs []*core.RecvRequest // receive legs, for status extraction
 }
 
-// failedRequest wraps an immediate error so Wait/Test report it.
-func failedRequest(c *Comm, err error) *Request { return &Request{comm: c, err: err} }
+// Request is used by core.WaitAll/WaitAny through the unified interface.
+var _ core.Request = (*Request)(nil)
 
-// Test reports whether the whole operation has completed.
-func (r *Request) Test() bool {
-	if r.err != nil {
-		return true
+// newRequest bundles engine legs under one MPI handle.
+func newRequest(c *Comm, sends []*core.SendRequest, recvs []*core.RecvRequest) *Request {
+	g := core.NewRequestGroup()
+	for _, s := range sends {
+		g.Add(s)
 	}
-	for _, s := range r.sends {
-		if !s.Test() {
-			return false
-		}
+	for _, r := range recvs {
+		g.Add(r)
 	}
-	for _, rr := range r.recvs {
-		if !rr.Test() {
-			return false
-		}
-	}
-	return true
+	return &Request{RequestGroup: g, comm: c, recvs: recvs}
 }
 
-// Wait blocks until completion and returns the receive status (zero for
-// pure sends).
-func (r *Request) Wait(p *sim.Proc) (Status, error) {
-	if r.err != nil {
-		return Status{}, r.err
-	}
-	var first error
-	for _, s := range r.sends {
-		if err := s.Wait(p); err != nil && first == nil {
-			first = err
-		}
-	}
-	count := 0
+// failedRequest wraps an immediate validation error so Wait/Test report
+// it.
+func failedRequest(c *Comm, err error) *Request {
+	return &Request{RequestGroup: core.FailedRequest(err), comm: c}
+}
+
+// Status returns the receive status (zero-valued Source/Tag of -1 for
+// pure sends). Valid once the request is Done.
+func (r *Request) Status() Status {
 	st := Status{Source: -1, Tag: -1}
 	for i, rr := range r.recvs {
-		if err := rr.Wait(p); err != nil && first == nil {
-			first = err
-		}
-		count += rr.N()
+		st.Count += rr.N()
 		if i == 0 {
 			st.Source = int(rr.Source())
 			st.Tag = userTag(rr.Tag())
 		}
 	}
-	st.Count = count
-	return st, first
+	return st
 }
 
-// Waitall completes every request, returning the first error.
+// WaitStatus blocks until completion and returns the receive status
+// (zero for pure sends) — the MPI_Wait(&status) form; Wait (from the
+// unified request interface) is the status-less form. Like MPI_Wait on
+// MPI_ERR_TRUNCATE, the status is populated even when the operation
+// completes with an error (the truncated count, the matched source and
+// tag).
+func (r *Request) WaitStatus(p *sim.Proc) (Status, error) {
+	err := r.Wait(p)
+	return r.Status(), err
+}
+
+// Waitall completes every request, returning the first error
+// (MPI_Waitall over the engine's unified WaitAll).
 func Waitall(p *sim.Proc, reqs ...*Request) error {
-	var first error
-	for _, r := range reqs {
-		if _, err := r.Wait(p); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
+	return core.WaitAll(p, asCoreRequests(reqs)...)
 }
 
 // Waitany blocks until at least one of the requests has completed and
-// returns its index and status (MPI_Waitany). Completed requests passed
-// again return immediately.
+// returns its index and status (MPI_Waitany over the engine's unified
+// WaitAny). Completed requests passed again return immediately.
 func Waitany(p *sim.Proc, reqs ...*Request) (int, Status, error) {
-	if len(reqs) == 0 {
-		return -1, Status{}, errors.New("madmpi: Waitany with no requests")
-	}
-	cond := reqs[0].cond()
-	for {
-		for i, r := range reqs {
-			if r.Test() {
-				st, err := r.Wait(p)
-				return i, st, err
-			}
+	idx, err := core.WaitAny(p, asCoreRequests(reqs)...)
+	if idx < 0 {
+		if errors.Is(err, core.ErrNoRequests) {
+			err = errors.New("madmpi: Waitany with no requests")
 		}
-		cond.Wait(p)
+		return idx, Status{}, err
 	}
+	return idx, reqs[idx].Status(), err
 }
 
-// cond exposes the engine-wide completion condition for Waitany polling.
-func (r *Request) cond() *sim.Cond { return r.comm.mpi.eng.Cond() }
+func asCoreRequests(reqs []*Request) []core.Request {
+	out := make([]core.Request, len(reqs))
+	for i, r := range reqs {
+		out[i] = r
+	}
+	return out
+}

@@ -9,16 +9,18 @@ import (
 // Irecv, Wait, Test) are direct mappings onto the engine, per §3.4 of the
 // paper; the blocking forms are conveniences layered on them.
 
-// Isend starts a nonblocking send of buf to rank dest with the given tag.
-func (c *Comm) Isend(p *sim.Proc, buf []byte, dest, tag int) *Request {
+// Isend starts a nonblocking send of buf to rank dest with the given
+// tag. Engine send options (core.Priority, core.OnRail, ...) pass
+// through as MAD-MPI extensions.
+func (c *Comm) Isend(p *sim.Proc, buf []byte, dest, tag int, opts ...core.SendOption) *Request {
 	if err := c.checkPeer(dest); err != nil {
 		return failedRequest(c, err)
 	}
 	if err := checkTag(tag); err != nil {
 		return failedRequest(c, err)
 	}
-	req := c.gate(dest).Isend(p, c.flowTag(tag), buf)
-	return &Request{comm: c, sends: []*core.SendRequest{req}}
+	req := c.gate(dest).Isend(p, c.flowTag(tag), buf, opts...)
+	return newRequest(c, []*core.SendRequest{req}, nil)
 }
 
 // Irecv starts a nonblocking receive into buf from rank src. tag may be
@@ -37,18 +39,17 @@ func (c *Comm) Irecv(p *sim.Proc, buf []byte, src, tag int) *Request {
 		}
 		req = c.gate(src).Irecv(p, c.flowTag(tag), buf)
 	}
-	return &Request{comm: c, recvs: []*core.RecvRequest{req}}
+	return newRequest(c, nil, []*core.RecvRequest{req})
 }
 
 // Send is the blocking form of Isend.
 func (c *Comm) Send(p *sim.Proc, buf []byte, dest, tag int) error {
-	_, err := c.Isend(p, buf, dest, tag).Wait(p)
-	return err
+	return c.Isend(p, buf, dest, tag).Wait(p)
 }
 
 // Recv is the blocking form of Irecv.
 func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
-	return c.Irecv(p, buf, src, tag).Wait(p)
+	return c.Irecv(p, buf, src, tag).WaitStatus(p)
 }
 
 // Sendrecv exchanges messages with a peer without deadlocking: both
@@ -56,25 +57,15 @@ func (c *Comm) Recv(p *sim.Proc, buf []byte, src, tag int) (Status, error) {
 func (c *Comm) Sendrecv(p *sim.Proc, sendBuf []byte, dest, sendTag int, recvBuf []byte, src, recvTag int) (Status, error) {
 	rr := c.Irecv(p, recvBuf, src, recvTag)
 	sr := c.Isend(p, sendBuf, dest, sendTag)
-	if _, err := sr.Wait(p); err != nil {
+	if err := sr.Wait(p); err != nil {
 		return Status{}, err
 	}
-	return rr.Wait(p)
+	return rr.WaitStatus(p)
 }
 
 // IsendPriority is a MAD-MPI extension exposing the engine's priority
 // flag (the RPC service-id pattern): the message is scheduled ahead of
 // accumulated bulk data.
 func (c *Comm) IsendPriority(p *sim.Proc, buf []byte, dest, tag int) *Request {
-	if err := c.checkPeer(dest); err != nil {
-		return failedRequest(c, err)
-	}
-	if err := checkTag(tag); err != nil {
-		return failedRequest(c, err)
-	}
-	req := c.gate(dest).IsendOpts(p, c.flowTag(tag), buf, core.SendOptions{
-		Flags:  core.FlagPriority,
-		Driver: core.AnyDriver,
-	})
-	return &Request{comm: c, sends: []*core.SendRequest{req}}
+	return c.Isend(p, buf, dest, tag, core.Priority())
 }

@@ -20,13 +20,12 @@ func (c *Comm) Issend(p *sim.Proc, buf []byte, dest, tag int) *Request {
 		return failedRequest(c, err)
 	}
 	req := c.gate(dest).Issend(p, c.flowTag(tag), buf)
-	return &Request{comm: c, sends: []*core.SendRequest{req}}
+	return newRequest(c, []*core.SendRequest{req}, nil)
 }
 
 // Ssend is the blocking form of Issend (MPI_Ssend).
 func (c *Comm) Ssend(p *sim.Proc, buf []byte, dest, tag int) error {
-	_, err := c.Issend(p, buf, dest, tag).Wait(p)
-	return err
+	return c.Issend(p, buf, dest, tag).Wait(p)
 }
 
 // Iprobe reports, without blocking or consuming, whether a message from

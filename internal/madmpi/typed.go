@@ -3,18 +3,19 @@ package madmpi
 import (
 	"fmt"
 
+	"nmad/internal/core"
 	"nmad/internal/sim"
 )
 
 // Typed (derived-datatype) point-to-point operations. Where MPICH packs
 // every block into a temporary contiguous buffer, sends it as a single
 // transaction, and unpacks on the receiving side (two full memory copies,
-// paper §5.3), MAD-MPI "uses an algorithm which generates an individual
-// communication request for each block, allowing the underlying
-// communication layer to perform any appropriate optimization": the
-// scheduler aggregates the small blocks — reordered together with the
-// rendezvous requests of the large blocks — and the large blocks travel
-// zero-copy straight from and into user memory.
+// paper §5.3), MAD-MPI hands the flattened layout to the engine's vector
+// path: the whole non-contiguous message is ONE multi-segment wrapper
+// (Gate.Isendv), NIC-gathered straight out of user space. The scheduler
+// aggregates and reorders it natively with whatever else the window
+// holds; above the rendezvous threshold the body streams zero-copy from
+// — and scatters zero-copy into — the scattered blocks.
 
 // IsendTyped starts a nonblocking send of count elements of datatype t
 // read from base (the address of the first element).
@@ -25,22 +26,18 @@ func (c *Comm) IsendTyped(p *sim.Proc, base []byte, t Datatype, count, dest, tag
 	if err := checkTag(tag); err != nil {
 		return failedRequest(c, err)
 	}
-	segs := Flatten(t, count)
-	if err := checkBounds(base, segs); err != nil {
+	iov, err := Iovec(base, t, count)
+	if err != nil {
 		return failedRequest(c, err)
 	}
-	g := c.gate(dest)
-	flow := c.flowTag(tag)
-	req := &Request{comm: c}
-	for _, s := range segs {
-		req.sends = append(req.sends, g.Isend(p, flow, base[s.Offset:s.Offset+s.Len]))
-	}
-	return req
+	req := c.gate(dest).Isendv(p, c.flowTag(tag), iov)
+	return newRequest(c, []*core.SendRequest{req}, nil)
 }
 
 // IrecvTyped starts a nonblocking receive of count elements of datatype t
-// scattered into base. The sender must use a layout with the same block
-// structure (the usual MPI contract: matching type signatures).
+// scattered into base. The sender must use a layout with the same total
+// size (the usual MPI contract: matching type signatures); the payload
+// scatters across the blocks in flattening order.
 func (c *Comm) IrecvTyped(p *sim.Proc, base []byte, t Datatype, count, src, tag int) *Request {
 	if err := c.checkPeer(src); err != nil {
 		return failedRequest(c, err)
@@ -48,27 +45,35 @@ func (c *Comm) IrecvTyped(p *sim.Proc, base []byte, t Datatype, count, src, tag 
 	if err := checkTag(tag); err != nil {
 		return failedRequest(c, err)
 	}
-	segs := Flatten(t, count)
-	if err := checkBounds(base, segs); err != nil {
+	iov, err := Iovec(base, t, count)
+	if err != nil {
 		return failedRequest(c, err)
 	}
-	g := c.gate(src)
-	flow := c.flowTag(tag)
-	req := &Request{comm: c}
-	for _, s := range segs {
-		req.recvs = append(req.recvs, g.Irecv(p, flow, base[s.Offset:s.Offset+s.Len]))
+	req := c.gate(src).Irecvv(p, c.flowTag(tag), iov)
+	return newRequest(c, nil, []*core.RecvRequest{req})
+}
+
+// Iovec flattens count elements of datatype t at base into the gather
+// list the engine's vector path consumes, bounds-checking every block.
+func Iovec(base []byte, t Datatype, count int) ([][]byte, error) {
+	segs := Flatten(t, count)
+	if err := checkBounds(base, segs); err != nil {
+		return nil, err
 	}
-	return req
+	iov := make([][]byte, len(segs))
+	for i, s := range segs {
+		iov[i] = base[s.Offset : s.Offset+s.Len]
+	}
+	return iov, nil
 }
 
 // SendTyped / RecvTyped are the blocking forms.
 func (c *Comm) SendTyped(p *sim.Proc, base []byte, t Datatype, count, dest, tag int) error {
-	_, err := c.IsendTyped(p, base, t, count, dest, tag).Wait(p)
-	return err
+	return c.IsendTyped(p, base, t, count, dest, tag).Wait(p)
 }
 
 func (c *Comm) RecvTyped(p *sim.Proc, base []byte, t Datatype, count, src, tag int) (Status, error) {
-	return c.IrecvTyped(p, base, t, count, src, tag).Wait(p)
+	return c.IrecvTyped(p, base, t, count, src, tag).WaitStatus(p)
 }
 
 func checkBounds(base []byte, segs []Segment) error {

@@ -13,19 +13,21 @@ import (
 type (
 	// Engine is one node's NewMadeleine instance.
 	Engine = core.Engine
-	// Options configures an engine (strategy, software overheads).
-	Options = core.Options
 	// Gate is a connection to one peer node.
 	Gate = core.Gate
 	// Tag identifies a logical flow.
 	Tag = core.Tag
-	// Flags carry scheduling/delivery hints on a submission.
-	Flags = core.Flags
-	// SendOptions tunes one submission (flags, rail pinning).
-	SendOptions = core.SendOptions
-	// SendRequest and RecvRequest are nonblocking operation handles.
+
+	// Request is the unified completion handle: sends, receives, packed
+	// messages and MAD-MPI operations all satisfy it (Done / Test / Err /
+	// Wait / Bytes).
+	Request = core.Request
+	// SendRequest and RecvRequest are the concrete nonblocking handles.
 	SendRequest = core.SendRequest
 	RecvRequest = core.RecvRequest
+	// RequestGroup composes several requests into one handle.
+	RequestGroup = core.RequestGroup
+
 	// Message and InMessage are the Madeleine-style incremental
 	// pack/unpack interfaces.
 	Message   = core.Message
@@ -36,26 +38,39 @@ type (
 	// MPI and Comm are the MAD-MPI environment and communicator.
 	MPI  = madmpi.MPI
 	Comm = madmpi.Comm
+	// Status describes a completed MPI receive.
+	Status = madmpi.Status
+	// MPIRequest is a MAD-MPI nonblocking handle (it satisfies Request).
+	MPIRequest = madmpi.Request
 	// Datatype describes a (possibly non-contiguous) memory layout.
 	Datatype = madmpi.Datatype
 
 	// Proc is a simulated process; Time is virtual time.
 	Proc = sim.Proc
 	Time = sim.Time
-	// Tracer records the engine's scheduling decisions (Options.Tracer).
+	// Tracer records the engine's scheduling decisions (WithTracer).
 	Tracer = trace.Recorder
-	// TraceEvent is one recorded scheduling decision.
+	// TraceEvent is one recorded scheduling decision; TraceKind
+	// classifies it.
 	TraceEvent = trace.Event
-	// Profile parameterizes one network technology.
+	TraceKind  = trace.Kind
+	// Profile parameterizes one network technology; Host the node model.
 	Profile = simnet.Profile
+	Host    = simnet.Host
 	// NodeID identifies a host in the fabric.
 	NodeID = simnet.NodeID
 )
 
 // Re-exported constants and constructors.
 var (
-	// DefaultOptions is the paper's MAD-MPI engine configuration.
-	DefaultOptions = core.DefaultOptions
+	// WaitAll / WaitAny complete sets of requests on the engine's shared
+	// completion condition (MPI_Waitall / MPI_Waitany shaped, but for any
+	// Request).
+	WaitAll = core.WaitAll
+	WaitAny = core.WaitAny
+	// NewRequestGroup composes requests into one handle.
+	NewRequestGroup = core.NewRequestGroup
+
 	// Strategy registry access.
 	StrategyNames = core.StrategyNames
 	// NewTracer / NewRingTracer create scheduling-decision recorders.
@@ -73,6 +88,11 @@ var (
 	GM2000  = simnet.GM2000
 	SISCI   = simnet.SISCI
 	TCPGbE  = simnet.TCPGbE
+	// Profiles lists every built-in profile; ProfileByName resolves one.
+	Profiles      = simnet.Profiles
+	ProfileByName = simnet.ProfileByName
+	// DefaultHost is the paper's 2006 Opteron host model.
+	DefaultHost = simnet.DefaultHost
 
 	// MAD-MPI datatype constructors.
 	Contiguous = madmpi.Contiguous
@@ -85,13 +105,20 @@ var (
 	ByteType   = madmpi.Byte
 )
 
-// Scheduling flags.
+// AnyTag matches any tag of a communicator (MPI_ANY_TAG).
+const AnyTag = madmpi.AnyTag
+
+// Trace event kinds, for filtering a Tracer's timeline.
 const (
-	FlagPriority  = core.FlagPriority
-	FlagUnordered = core.FlagUnordered
-	FlagNeedAck   = core.FlagNeedAck
-	AnyDriver     = core.AnyDriver
-	AnyTag        = madmpi.AnyTag
+	TraceSubmit     = trace.Submit
+	TraceElect      = trace.Elect
+	TraceDepart     = trace.Depart
+	TraceArrive     = trace.Arrive
+	TraceDeliver    = trace.Deliver
+	TraceUnexpected = trace.Unexpected
+	TraceRdvStart   = trace.RdvStart
+	TraceRdvGrant   = trace.RdvGrant
+	TraceRdvBody    = trace.RdvBody
 )
 
 // Cluster bundles a simulation world and a fabric: the "machine" a
@@ -101,15 +128,25 @@ type Cluster struct {
 	fabric *simnet.Fabric
 }
 
-// NewCluster builds an n-node machine with one NIC per node per profile
-// (default: a single MX/Myri-10G rail) and the paper's host parameters.
-func NewCluster(n int, profiles ...Profile) (*Cluster, error) {
-	if len(profiles) == 0 {
-		profiles = []Profile{simnet.MX10G()}
+// NewCluster builds an n-node machine. By default every node gets one
+// NIC on a single MX/Myri-10G rail and the paper's host parameters;
+// WithRails and WithHost override that:
+//
+//	cl, err := nmad.NewCluster(4,
+//		nmad.WithRails(nmad.MX10G(), nmad.QsNetII()),
+//		nmad.WithHost(nmad.Host{MemcpyBandwidth: 2e9}),
+//	)
+func NewCluster(n int, opts ...ClusterOption) (*Cluster, error) {
+	cfg := clusterConfig{host: simnet.DefaultHost()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if len(cfg.rails) == 0 {
+		cfg.rails = []Profile{simnet.MX10G()}
 	}
 	w := sim.NewWorld()
-	f := simnet.NewFabric(w, n, simnet.DefaultHost())
-	for _, prof := range profiles {
+	f := simnet.NewFabric(w, n, cfg.host)
+	for _, prof := range cfg.rails {
 		if _, err := f.AddNetwork(prof); err != nil {
 			return nil, err
 		}
@@ -127,9 +164,13 @@ func (c *Cluster) Fabric() *simnet.Fabric { return c.fabric }
 func (c *Cluster) Now() Time { return c.world.Now() }
 
 // Engine creates a NewMadeleine engine on the given node, attached to
-// every rail of the cluster.
-func (c *Cluster) Engine(node int, opts Options) (*Engine, error) {
-	e, err := core.New(c.fabric, simnet.NodeID(node), opts)
+// every rail of the cluster. With no options it runs the paper's MAD-MPI
+// configuration (the "aggreg" strategy and the measured software
+// overheads); EngineOptions adjust it:
+//
+//	e, err := cl.Engine(0, nmad.WithStrategy("split"), nmad.WithTracer(tr))
+func (c *Cluster) Engine(node int, opts ...EngineOption) (*Engine, error) {
+	e, err := core.New(c.fabric, simnet.NodeID(node), resolveEngine(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -139,9 +180,10 @@ func (c *Cluster) Engine(node int, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// MPI creates a MAD-MPI rank on the given node.
-func (c *Cluster) MPI(node int, opts Options) (*MPI, error) {
-	return madmpi.Init(c.fabric, simnet.NodeID(node), opts)
+// MPI creates a MAD-MPI rank on the given node. Options configure the
+// underlying engine exactly as for Engine.
+func (c *Cluster) MPI(node int, opts ...EngineOption) (*MPI, error) {
+	return madmpi.Init(c.fabric, simnet.NodeID(node), resolveEngine(opts))
 }
 
 // Spawn starts a simulated process (one MPI rank's program, a benchmark

@@ -12,11 +12,11 @@ func TestClusterQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e0, err := cl.Engine(0, nmad.DefaultOptions())
+	e0, err := cl.Engine(0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	e1, err := cl.Engine(1, nmad.DefaultOptions())
+	e1, err := cl.Engine(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,12 +47,12 @@ func TestClusterQuickstart(t *testing.T) {
 }
 
 func TestClusterMPI(t *testing.T) {
-	cl, err := nmad.NewCluster(2, nmad.MX10G(), nmad.QsNetII())
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G(), nmad.QsNetII()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for rank := 0; rank < 2; rank++ {
-		m, err := cl.MPI(rank, nmad.DefaultOptions())
+		m, err := cl.MPI(rank)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,5 +90,168 @@ func TestDatatypeConstructorsExported(t *testing.T) {
 	dt := nmad.Hindexed([]int{64, 256 << 10}, []int{0, 64}, nmad.ByteType)
 	if dt.Size() != 64+256<<10 {
 		t.Errorf("datatype size %d", dt.Size())
+	}
+}
+
+// TestIndexedDatatypeAggregatesIntoOnePacket is the §5.3 acceptance
+// check through the facade: the blocks of an Indexed datatype ride the
+// vector path (Isendv) as ONE wrapper and depart in ONE physical packet,
+// observed through the tracer.
+func TestIndexedDatatypeAggregatesIntoOnePacket(t *testing.T) {
+	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := nmad.NewTracer()
+	m0, err := cl.MPI(0, nmad.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cl.MPI(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eight scattered 64B blocks, eager-sized: without the vector path
+	// this was eight wrappers (and at best one aggregated packet after a
+	// busy NIC); now it is a single wrapper, always a single packet.
+	blocks, gap := 8, 32
+	lens := make([]int, blocks)
+	displs := make([]int, blocks)
+	for i := range lens {
+		lens[i] = 64
+		displs[i] = i * (64 + gap)
+	}
+	dt := nmad.Indexed(lens, displs, nmad.ByteType)
+	src := make([]byte, blocks*(64+gap))
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, len(src))
+	cl.Spawn("rank0", func(p *nmad.Proc) {
+		if err := m0.CommWorld().SendTyped(p, src, dt, 1, 1, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	cl.Spawn("rank1", func(p *nmad.Proc) {
+		st, err := m1.CommWorld().RecvTyped(p, dst, dt, 1, 0, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		if st.Count != blocks*64 {
+			t.Errorf("received %d bytes, want %d", st.Count, blocks*64)
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < blocks; i++ {
+		at := i * (64 + gap)
+		if !bytes.Equal(dst[at:at+64], src[at:at+64]) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+	if n := tr.Count(nmad.TraceSubmit); n != 1 {
+		t.Errorf("Submit events = %d, want 1 (the whole datatype is one wrapper)", n)
+	}
+	if n := tr.Count(nmad.TraceDepart); n != 1 {
+		t.Errorf("Depart events = %d, want 1 (all iovec segments in one physical packet)", n)
+	}
+	for _, ev := range tr.Filter(nmad.TraceDepart) {
+		if ev.Bytes != blocks*64 {
+			t.Errorf("departing packet carried %d payload bytes, want %d", ev.Bytes, blocks*64)
+		}
+	}
+	if st := m0.Engine().Stats(); st.OutputPackets != 1 {
+		t.Errorf("OutputPackets = %d, want 1", st.OutputPackets)
+	}
+}
+
+// TestFacadeVectorSendAggregatesWithOtherFlows drives Isendv directly
+// through the facade: a vector message and unrelated small sends share
+// one physical packet when the NIC is busy.
+func TestFacadeVectorSendAggregatesWithOtherFlows(t *testing.T) {
+	cl, err := nmad.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := nmad.NewTracer()
+	e0, err := cl.Engine(0, nmad.WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := cl.Engine(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Spawn("send", func(p *nmad.Proc) {
+		g := e0.Gate(1)
+		g.Isend(p, 1, make([]byte, 64)) // departs alone, occupies the NIC
+		g.Isendv(p, 2, [][]byte{make([]byte, 32), make([]byte, 32)})
+		g.Isend(p, 3, make([]byte, 64))
+	})
+	cl.Spawn("recv", func(p *nmad.Proc) {
+		g := e1.Gate(0)
+		reqs := []nmad.Request{
+			g.Irecv(p, 1, make([]byte, 64)),
+			g.Irecvv(p, 2, [][]byte{make([]byte, 64)}),
+			g.Irecv(p, 3, make([]byte, 64)),
+		}
+		if err := nmad.WaitAll(p, reqs...); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	multi := false
+	for _, ev := range tr.Filter(nmad.TraceElect) {
+		if ev.Entries > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Error("the vector wrapper never aggregated with the other flow")
+	}
+}
+
+// TestFacadeWaitAnyAcrossLayers mixes an engine receive and an MPI
+// request under the one unified WaitAny.
+func TestFacadeUnifiedRequests(t *testing.T) {
+	cl, err := nmad.NewCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m0, err := cl.MPI(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := cl.MPI(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Spawn("rank0", func(p *nmad.Proc) {
+		var reqs []nmad.Request
+		reqs = append(reqs, m0.CommWorld().Isend(p, []byte("a"), 1, 0))
+		reqs = append(reqs, m0.CommWorld().Irecv(p, make([]byte, 1), 1, 1))
+		idx, err := nmad.WaitAny(p, reqs...)
+		if err != nil {
+			t.Error(err)
+		}
+		if err := nmad.WaitAll(p, reqs...); err != nil {
+			t.Error(err)
+		}
+		_ = idx
+	})
+	cl.Spawn("rank1", func(p *nmad.Proc) {
+		c := m1.CommWorld()
+		if _, err := c.Recv(p, make([]byte, 1), 0, 0); err != nil {
+			t.Error(err)
+		}
+		if err := c.Send(p, []byte("b"), 0, 1); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,119 @@
+package nmad
+
+import (
+	"nmad/internal/core"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// Functional options — the construction surface of the facade. Cluster
+// assembly, engine personality and per-submission scheduling hints are
+// all expressed as composable options instead of raw struct literals:
+//
+//	cl, _ := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G(), nmad.QsNetII()))
+//	e, _ := cl.Engine(0, nmad.WithStrategy("aggreg"), nmad.WithTracer(tr))
+//	e.Gate(1).Isend(p, tag, data, nmad.Priority(), nmad.OnRail(1))
+
+// clusterConfig is the resolved NewCluster configuration.
+type clusterConfig struct {
+	rails []Profile
+	host  simnet.Host
+}
+
+// ClusterOption configures NewCluster.
+type ClusterOption func(*clusterConfig)
+
+// WithRails equips every node with one NIC per given profile, in order
+// (rail 0 first). Without it the cluster gets a single MX/Myri-10G rail.
+func WithRails(profiles ...Profile) ClusterOption {
+	return func(c *clusterConfig) { c.rails = append(c.rails, profiles...) }
+}
+
+// WithHost overrides the node host model (memcpy bandwidth etc.).
+func WithHost(h Host) ClusterOption {
+	return func(c *clusterConfig) { c.host = h }
+}
+
+// EngineOption configures one engine (or the engine under an MPI rank).
+// The zero configuration is the paper's MAD-MPI personality: the
+// aggregation strategy and the measured software overheads.
+type EngineOption func(*core.Options)
+
+// resolveEngine folds options over the paper's default configuration.
+func resolveEngine(opts []EngineOption) core.Options {
+	o := core.DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithStrategy selects the optimization strategy by registry name
+// ("default", "aggreg", "split", "prio", or anything registered through
+// core.RegisterStrategy).
+func WithStrategy(name string) EngineOption {
+	return func(o *core.Options) { o.Strategy = name }
+}
+
+// WithTracer records every scheduling decision of the engine on the
+// virtual timeline.
+func WithTracer(tr *trace.Recorder) EngineOption {
+	return func(o *core.Options) { o.Tracer = tr }
+}
+
+// WithSubmitOverhead sets the host software cost charged per request
+// entering the collect layer.
+func WithSubmitOverhead(d Time) EngineOption {
+	return func(o *core.Options) { o.SubmitOverhead = d }
+}
+
+// WithScheduleOverhead sets the host cost charged per output packet for
+// running the optimization function.
+func WithScheduleOverhead(d Time) EngineOption {
+	return func(o *core.Options) { o.ScheduleOverhead = d }
+}
+
+// WithoutOverheads zeroes both software overheads (the idealized-engine
+// ablation).
+func WithoutOverheads() EngineOption {
+	return func(o *core.Options) {
+		o.SubmitOverhead = 0
+		o.ScheduleOverhead = 0
+	}
+}
+
+// WithBodyChunk caps the size of one rendezvous body transaction; larger
+// bodies are pipelined in chunks of this size.
+func WithBodyChunk(bytes int) EngineOption {
+	return func(o *core.Options) { o.BodyChunk = bytes }
+}
+
+// WithAnticipation enables the second scheduling mode of the paper's
+// §3.2: while a rail is busy the engine pre-builds one ready-to-send
+// packet, hiding the election cost behind the previous transmission.
+func WithAnticipation() EngineOption {
+	return func(o *core.Options) { o.Anticipate = true }
+}
+
+// WithFlushBacklog enables the third scheduling mode of §3.2: once the
+// backlog a rail could send reaches n wrappers, the engine elects
+// unconditionally and queues the output at the (possibly busy) NIC.
+func WithFlushBacklog(n int) EngineOption {
+	return func(o *core.Options) { o.FlushBacklog = n }
+}
+
+// Per-submission scheduling options, accepted by Gate.Isend, Gate.Isendv,
+// Gate.Issend and Gate.BeginPack.
+type SendOption = core.SendOption
+
+var (
+	// Priority asks the optimizer to favor earliest delivery (the RPC
+	// service-id pattern).
+	Priority = core.Priority
+	// Unordered delivers the submission outside per-flow sequence order.
+	Unordered = core.Unordered
+	// Synchronous completes the send only once the receiver matched it.
+	Synchronous = core.Synchronous
+	// OnRail pins the submission to one rail instead of the common list.
+	OnRail = core.OnRail
+)

@@ -6,7 +6,11 @@
 //	nmad-bench -fig 2a            # one figure, aligned table on stdout
 //	nmad-bench -fig all           # everything (takes a minute)
 //	nmad-bench -fig 4a -format csv
+//	nmad-bench -fig 3a -json      # machine-readable, for BENCH_*.json trajectories
 //	nmad-bench -list
+//
+// Every report is stamped with the strategy and engine options each
+// MAD-MPI series ran with.
 //
 // Figure ids: 2a 2b 2c 2d (raw ping-pong), 5.1 (overhead summary),
 // 3a 3b 3c 3d (multi-segment ping-pong), 4a 4b (indexed datatype),
@@ -23,9 +27,13 @@ import (
 
 func main() {
 	fig := flag.String("fig", "", "figure id to regenerate, or 'all'")
-	format := flag.String("format", "table", "output format: table or csv")
+	format := flag.String("format", "table", "output format: table, csv or json")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (same as -format json)")
 	list := flag.Bool("list", false, "list figure ids and exit")
 	flag.Parse()
+	if *jsonOut {
+		*format = "json"
+	}
 
 	if *list {
 		for _, id := range nmad.BenchFigureIDs() {
@@ -53,6 +61,8 @@ func main() {
 			fmt.Println(nmad.BenchFormatTable(result))
 		case "csv":
 			fmt.Printf("# figure %s: %s\n%s\n", result.ID, result.Title, nmad.BenchFormatCSV(result))
+		case "json":
+			fmt.Println(nmad.BenchFormatJSON(result))
 		default:
 			fmt.Fprintf(os.Stderr, "nmad-bench: unknown format %q\n", *format)
 			os.Exit(2)

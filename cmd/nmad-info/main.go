@@ -31,5 +31,5 @@ func main() {
 	tw.Flush()
 	fmt.Println("\nhost: memcpy bandwidth", fmt.Sprintf("%.1f GB/s", nmad.DefaultHost().MemcpyBandwidth/1e9),
 		"(2006 dual-core 1.8 GHz Opteron, per the paper's testbed)")
-	fmt.Println("strategies:", strings.Join(nmad.StrategyNames(), " "))
+	fmt.Println("strategies:", strings.Join(nmad.Strategies(), " "))
 }

@@ -46,6 +46,17 @@
 //
 //	e0.Gate(1).Isendv(p, tag, [][]byte{hdr, col0, col1})
 //
+// The optimizer is programmable. Package nmad/sched is the public
+// scheduling SPI: a Strategy elects wrappers out of the per-rail window
+// view, with the rails' nominal capabilities and sampled achieved
+// bandwidth in hand. WithStrategy accepts a registry name or a Strategy
+// value; RegisterStrategy adds names (error on duplicates); the
+// built-ins — default, aggreg, split, prio, adaptive — are implemented
+// on the same SPI:
+//
+//	e0, _ := cl.Engine(0, nmad.WithStrategy(myStrategy{}))
+//	_ = nmad.RegisterStrategy("mine", func() nmad.Strategy { return myStrategy{} })
+//
 // # Layout
 //
 //   - package nmad (this package): the facade — Cluster assembly,
@@ -57,8 +68,11 @@
 //     profiles (MX/Myri-10G, QsNetII, GM/Myrinet-2000, SISCI/SCI, TCP).
 //   - internal/drivers: the transfer layer — one minimal driver per
 //     network, with capability reports.
+//   - sched: the public scheduling SPI — Strategy, the Window/Wrapper
+//     views, Election, RailInfo, lifecycle hooks, the Chain combinator,
+//     the strategy registry and the five built-in strategies.
 //   - internal/core: the engine — collect layer, optimization window,
-//     strategies (default/aggreg/split/prio), rendezvous protocol,
+//     election validation against the SPI, rendezvous protocol,
 //     resequencing receive path, the unified Request layer and the
 //     vector (iovec) path.
 //   - internal/madmpi: MAD-MPI — communicators, point-to-point,

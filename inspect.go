@@ -41,7 +41,10 @@ var (
 	BenchFigureIDs = bench.FigureIDs
 	// BenchRun regenerates one figure.
 	BenchRun = bench.Run
-	// BenchFormatTable / BenchFormatCSV render a figure's data points.
+	// BenchFormatTable / BenchFormatCSV / BenchFormatJSON render a
+	// figure's data points; JSON carries the strategy and engine-option
+	// stamps for machine-readable result trajectories.
 	BenchFormatTable = bench.FormatTable
 	BenchFormatCSV   = bench.FormatCSV
+	BenchFormatJSON  = bench.FormatJSON
 )

@@ -12,24 +12,28 @@ import (
 // Point is one measurement: X is the swept parameter (bytes), Y the
 // metric (µs or MB/s).
 type Point struct {
-	X int
-	Y float64
+	X int     `json:"x"`
+	Y float64 `json:"y"`
 }
 
-// Series is one implementation's curve.
+// Series is one implementation's curve. Strategy and EngineOptions stamp
+// the engine configuration the series ran with (empty for non-MAD-MPI
+// baselines), so a report is self-describing.
 type Series struct {
-	Label  string
-	Points []Point
+	Label         string  `json:"label"`
+	Strategy      string  `json:"strategy,omitempty"`
+	EngineOptions string  `json:"engine_options,omitempty"`
+	Points        []Point `json:"points"`
 }
 
 // Figure is a regenerated paper figure (or table).
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
-	Notes  []string
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
+	Notes  []string `json:"notes,omitempty"`
 }
 
 // Sizes returns the powers of two in [lo, hi], the paper's sweep grids.
@@ -45,11 +49,12 @@ func mxRails() []simnet.Profile { return []simnet.Profile{simnet.MX10G()} }
 
 func qsRails() []simnet.Profile { return []simnet.Profile{simnet.QsNetII()} }
 
-// sweep measures fn over sizes for each implementation.
+// sweep measures fn over sizes for each implementation, stamping each
+// series with the implementation's engine configuration.
 func sweep(impls []Impl, sizes []int, fn func(Impl, int) (float64, error)) ([]Series, error) {
 	var out []Series
 	for _, impl := range impls {
-		s := Series{Label: impl.Name}
+		s := Series{Label: impl.Name, Strategy: impl.Strategy, EngineOptions: impl.EngineOptions}
 		for _, size := range sizes {
 			y, err := fn(impl, size)
 			if err != nil {
@@ -290,11 +295,16 @@ func AblationOverhead() (Figure, error) {
 		return o
 	}
 	full := core.DefaultOptions()
+	rename := func(name string, o core.Options) Impl {
+		impl := MadMPI(o)
+		impl.Name = name
+		return impl
+	}
 	impls := []Impl{
 		MadMPI(full),
-		{Name: "MadMPI[no-submit]", Make: MadMPI(mk(0, full.ScheduleOverhead)).Make},
-		{Name: "MadMPI[no-sched]", Make: MadMPI(mk(full.SubmitOverhead, 0)).Make},
-		{Name: "MadMPI[zero-overhead]", Make: MadMPI(mk(0, 0)).Make},
+		rename("MadMPI[no-submit]", mk(0, full.ScheduleOverhead)),
+		rename("MadMPI[no-sched]", mk(full.SubmitOverhead, 0)),
+		rename("MadMPI[zero-overhead]", mk(0, 0)),
 		MPICH(),
 	}
 	series, err := sweep(impls, []int{4, 64, 1024}, func(impl Impl, size int) (float64, error) {
@@ -328,7 +338,7 @@ func AblationRdvThreshold() (Figure, error) {
 	for i, thr := range []int{8 << 10, 32 << 10, 128 << 10} {
 		prof := simnet.MX10G()
 		prof.RdvThreshold = thr
-		s := Series{Label: impls[i].Name}
+		s := Series{Label: impls[i].Name, Strategy: "aggreg", EngineOptions: summarizeOptions(core.DefaultOptions())}
 		for _, size := range Sizes(16<<10, 256<<10) {
 			y, err := PingPong(MadMPI(core.DefaultOptions()), []simnet.Profile{prof}, size)
 			if err != nil {
@@ -392,7 +402,7 @@ func AblationComposite() (Figure, error) {
 		{"MPICH", MPICH(), false},
 	}
 	for _, c := range cases {
-		s := Series{Label: c.label}
+		s := Series{Label: c.label, Strategy: c.impl.Strategy, EngineOptions: c.impl.EngineOptions}
 		for _, bulk := range []int{4 << 10, 8 << 10, 16 << 10} {
 			lat, err := CompositeControlLatency(c.impl, mxRails(), bulk, 16, c.prio)
 			if err != nil {
@@ -422,7 +432,7 @@ func AblationSampling() (Figure, error) {
 		{"cold (nominal plan)", 0},
 		{"warmed (sampled plan)", 4},
 	} {
-		s := Series{Label: c.label}
+		s := Series{Label: c.label, Strategy: "split"}
 		for _, size := range []int{2 << 20, 4 << 20, 8 << 20} {
 			t, err := CongestedTransfer(size, 0.3, c.warmup)
 			if err != nil {

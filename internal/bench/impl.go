@@ -12,6 +12,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"nmad/internal/baseline"
 	"nmad/internal/core"
@@ -46,10 +47,14 @@ type Peer interface {
 }
 
 // Impl names an MPI implementation and builds a two-rank job over a
-// fabric.
+// fabric. Strategy and EngineOptions stamp the engine configuration into
+// every series measured with the implementation (empty for baselines),
+// so reports record what they ran.
 type Impl struct {
-	Name string
-	Make func(f *simnet.Fabric) (Peer, Peer, error)
+	Name          string
+	Strategy      string
+	EngineOptions string
+	Make          func(f *simnet.Fabric) (Peer, Peer, error)
 }
 
 // MadMPI returns the MAD-MPI implementation with the given engine
@@ -59,8 +64,14 @@ func MadMPI(opts core.Options) Impl {
 	if opts.Strategy != "" && opts.Strategy != "aggreg" {
 		name = "MadMPI[" + opts.Strategy + "]"
 	}
+	strategy := opts.Strategy
+	if strategy == "" {
+		strategy = "aggreg"
+	}
 	return Impl{
-		Name: name,
+		Name:          name,
+		Strategy:      strategy,
+		EngineOptions: summarizeOptions(opts),
 		Make: func(f *simnet.Fabric) (Peer, Peer, error) {
 			m0, err := madmpi.Init(f, 0, opts)
 			if err != nil {
@@ -73,6 +84,25 @@ func MadMPI(opts core.Options) Impl {
 			return &madPeer{mpi: m0}, &madPeer{mpi: m1}, nil
 		},
 	}
+}
+
+// summarizeOptions renders the engine options that shape a measurement,
+// compact enough to stamp into a report line.
+func summarizeOptions(o core.Options) string {
+	parts := []string{
+		fmt.Sprintf("submit=%v", o.SubmitOverhead),
+		fmt.Sprintf("sched=%v", o.ScheduleOverhead),
+	}
+	if o.BodyChunk > 0 {
+		parts = append(parts, fmt.Sprintf("chunk=%d", o.BodyChunk))
+	}
+	if o.Anticipate {
+		parts = append(parts, "anticipate")
+	}
+	if o.FlushBacklog > 0 {
+		parts = append(parts, fmt.Sprintf("flush=%d", o.FlushBacklog))
+	}
+	return strings.Join(parts, " ")
 }
 
 // MPICH returns the MPICH-like baseline.

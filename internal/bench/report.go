@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,7 +33,43 @@ func FormatTable(fig Figure) string {
 	for _, n := range fig.Notes {
 		fmt.Fprintf(&b, "   note: %s\n", n)
 	}
+	for _, line := range strategyStamps(fig) {
+		fmt.Fprintf(&b, "   %s\n", line)
+	}
 	return b.String()
+}
+
+// strategyStamps summarizes which engine configuration each MAD-MPI
+// series ran with, deduplicated, for the report footer.
+func strategyStamps(fig Figure) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range fig.Series {
+		if s.Strategy == "" {
+			continue
+		}
+		line := "strategy: " + s.Strategy
+		if s.EngineOptions != "" {
+			line += " (" + s.EngineOptions + ")"
+		}
+		line += " — " + s.Label
+		if !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// FormatJSON renders a figure as machine-readable JSON, for tracking
+// result trajectories across runs (BENCH_*.json files).
+func FormatJSON(fig Figure) string {
+	data, err := json.MarshalIndent(fig, "", "  ")
+	if err != nil {
+		// The figure types marshal cleanly by construction.
+		panic("bench: figure JSON encoding failed: " + err.Error())
+	}
+	return string(data)
 }
 
 // FormatCSV renders a figure as plain CSV (x, then one column per series).

@@ -7,6 +7,7 @@ import (
 
 	"nmad/internal/sim"
 	"nmad/internal/simnet"
+	"nmad/sched"
 )
 
 // testWorld builds a 2-node fabric with the given networks and one engine
@@ -736,8 +737,8 @@ func TestIsendWithoutDriversFails(t *testing.T) {
 }
 
 func TestStrategyRegistry(t *testing.T) {
-	names := StrategyNames()
-	want := []string{"aggreg", "default", "prio", "split"}
+	names := sched.Names()
+	want := []string{"adaptive", "aggreg", "default", "prio", "split"}
 	if len(names) != len(want) {
 		t.Fatalf("registry %v, want %v", names, want)
 	}
@@ -747,12 +748,12 @@ func TestStrategyRegistry(t *testing.T) {
 		}
 	}
 	for _, n := range names {
-		s, err := NewStrategy(n)
+		s, err := sched.New(n)
 		if err != nil || s.Name() != n {
-			t.Errorf("NewStrategy(%q) = %v, %v", n, s, err)
+			t.Errorf("sched.New(%q) = %v, %v", n, s, err)
 		}
 	}
-	if _, err := NewStrategy("bogus"); err == nil {
+	if _, err := sched.New("bogus"); err == nil {
 		t.Error("unknown strategy should error")
 	}
 }

@@ -14,7 +14,10 @@
 //     synthesizes the next ready-to-send packet: several wrappers —
 //     possibly from different logical flows — may be aggregated into one
 //     physical packet, wrappers may be reordered, large bodies are turned
-//     into rendezvous requests, and bodies may be split across rails;
+//     into rendezvous requests, and bodies may be split across rails.
+//     Strategies are external: they implement the public SPI of package
+//     sched, and this package only adapts the window to the SPI views
+//     and validates the elections that come back (see strategy.go);
 //
 //   - the transfer layer (package drivers) controls the NICs through the
 //     minimal network API and calls back into the scheduler whenever a

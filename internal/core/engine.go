@@ -8,6 +8,7 @@ import (
 	"nmad/internal/sim"
 	"nmad/internal/simnet"
 	"nmad/internal/trace"
+	"nmad/sched"
 )
 
 // Options configures an Engine.
@@ -15,6 +16,11 @@ type Options struct {
 	// Strategy selects the optimization function by registry name.
 	// Default: "aggreg" (the paper's aggregation strategy).
 	Strategy string
+	// StrategyImpl, when non-nil, is used directly as the optimization
+	// function and takes precedence over Strategy. The value is shared
+	// by every engine constructed with it; stateful strategies must
+	// synchronize or be registered instead (one instance per engine).
+	StrategyImpl sched.Strategy
 	// SubmitOverhead is the host software cost charged per request
 	// entering the collect layer (wrapping + list insertion). Together
 	// with ScheduleOverhead it reproduces the §5.1 constant overhead of
@@ -62,7 +68,7 @@ type Engine struct {
 	world *sim.World
 	node  *simnet.Node
 	opts  Options
-	strat Strategy
+	strat sched.Strategy
 
 	drvs     []drivers.Driver
 	feeding  []bool          // rail claimed by an output being built (ScheduleOverhead)
@@ -72,6 +78,7 @@ type Engine struct {
 	gates     map[simnet.NodeID]*Gate
 	gateOrder []*Gate // deterministic iteration
 	rr        int     // round-robin cursor over gates
+	electGen  uint64  // election-validation generation (see electOutput)
 
 	rdvSend   map[uint32]*rdvSend
 	rdvRecv   map[rdvKey]*rdvRecv
@@ -87,12 +94,15 @@ type Engine struct {
 // New creates an engine for one node of a fabric. Drivers must then be
 // attached (Attach or AttachFabric) before gates can carry traffic.
 func New(f *simnet.Fabric, node simnet.NodeID, opts Options) (*Engine, error) {
-	if opts.Strategy == "" {
-		opts.Strategy = "aggreg"
-	}
-	strat, err := NewStrategy(opts.Strategy)
-	if err != nil {
-		return nil, err
+	strat := opts.StrategyImpl
+	if strat == nil {
+		if opts.Strategy == "" {
+			opts.Strategy = "aggreg"
+		}
+		var err error
+		if strat, err = sched.New(opts.Strategy); err != nil {
+			return nil, err
+		}
 	}
 	w := f.World()
 	return &Engine{
@@ -124,6 +134,9 @@ func (e *Engine) Attach(drv drivers.Driver) error {
 	e.stats.PerDriverBytes = append(e.stats.PerDriverBytes, 0)
 	for _, g := range e.gateOrder {
 		g.win.perDriver = append(g.win.perDriver, nil)
+	}
+	if a, ok := e.strat.(sched.Attacher); ok {
+		a.OnAttach(e.railInfo(idx))
 	}
 	return nil
 }
@@ -296,8 +309,8 @@ func (e *Engine) elect(drv int) (*Gate, *output) {
 			continue
 		}
 		e.prepare(g, drv, caps)
-		out := e.strat.Elect(g, drv, caps)
-		if out == nil || len(out.entries) == 0 {
+		out := e.electOutput(g, drv, caps)
+		if out == nil {
 			continue
 		}
 		e.rr = (e.rr + i + 1) % n
@@ -367,8 +380,8 @@ func (e *Engine) flush(g *Gate) {
 		for g.win.pending(drv) >= e.opts.FlushBacklog {
 			caps := e.drvs[drv].Caps()
 			e.prepare(g, drv, caps)
-			out := e.strat.Elect(g, drv, caps)
-			if out == nil || len(out.entries) == 0 {
+			out := e.electOutput(g, drv, caps)
+			if out == nil {
 				break
 			}
 			e.feed(g, drv, out)
@@ -456,6 +469,7 @@ func (e *Engine) send(g *Gate, drv int, out *output) {
 	t0 := e.world.Now()
 	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {
 		e.samplers[drv].observe(payload, e.world.Now()-t0)
+		e.notifyComplete(drv, g.peer, payload, len(entries), e.world.Now()-t0)
 		for _, pw := range entries {
 			if pw.onSent != nil {
 				pw.onSent()
@@ -485,26 +499,18 @@ func (e *Engine) WindowEmpty() bool {
 	return true
 }
 
-// bestRail picks the attached rail with the highest nominal bandwidth,
-// preferring RDMA-capable rails.
-func bestRail(e *Engine) int {
-	best, bestScore := 0, -1.0
-	for i, d := range e.drvs {
-		c := d.Caps()
-		score := c.Bandwidth
-		if c.RDMA {
-			score *= 2
-		}
-		if score > bestScore {
-			best, bestScore = i, score
-		}
+// notifyComplete feeds the strategy's optional completion hook: the
+// per-transaction functional-characteristics signal of the SPI.
+func (e *Engine) notifyComplete(drv int, peer simnet.NodeID, bytes, entries int, dur sim.Time) {
+	if c, ok := e.strat.(sched.Completer); ok {
+		c.OnComplete(sched.Completion{
+			Rail:     drv,
+			Peer:     int(peer),
+			Bytes:    bytes,
+			Entries:  entries,
+			Duration: dur,
+		})
 	}
-	return best
-}
-
-// singleRailPlan streams the whole body over the best rail.
-func singleRailPlan(e *Engine, size int) []BodyShare {
-	return []BodyShare{{Driver: bestRail(e), Offset: 0, Size: size}}
 }
 
 var errNoDrivers = errors.New("core: engine has no attached drivers")

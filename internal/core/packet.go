@@ -28,6 +28,12 @@ type packet struct {
 	// list.
 	driver int
 
+	// gen is the election-validation stamp: electOutput marks every
+	// wrapper of the current view with the engine's election generation,
+	// and clears it on pick. Stale or duplicated picks mismatch without
+	// needing a membership set.
+	gen uint64
+
 	submittedAt sim.Time
 	// onSent fires when the NIC finishes the physical packet carrying
 	// this wrapper.

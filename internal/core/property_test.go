@@ -31,7 +31,7 @@ type wmsg struct {
 
 func genWorkload(seed uint64) workload {
 	rng := sim.NewRNG(seed)
-	strategies := []string{"default", "aggreg", "split", "prio"}
+	strategies := []string{"default", "aggreg", "split", "prio", "adaptive"}
 	profSets := [][]simnet.Profile{
 		{simnet.MX10G()},
 		{simnet.QsNetII()},
@@ -145,7 +145,7 @@ func TestPropertyStrategiesAgreeOnSemantics(t *testing.T) {
 		base.anticipate = false
 		base.flush = 0
 		var ref map[Tag][][]byte
-		for _, strat := range []string{"default", "aggreg", "split", "prio"} {
+		for _, strat := range []string{"default", "aggreg", "split", "prio", "adaptive"} {
 			wl := base
 			wl.strategy = strat
 			got := runWorkload(t, wl)

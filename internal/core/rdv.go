@@ -119,12 +119,7 @@ func (e *Engine) onCTS(h header) {
 // completion accounting.
 func (e *Engine) startBody(rs *rdvSend) {
 	size := rs.body.total()
-	var plan []BodyShare
-	if bp, ok := e.strat.(BodyPlanner); ok && len(e.drvs) > 1 {
-		plan = bp.PlanBody(e, size)
-	} else {
-		plan = singleRailPlan(e, size)
-	}
+	plan := e.planBody(size)
 
 	type chunk struct {
 		drv      int
@@ -136,7 +131,7 @@ func (e *Engine) startBody(rs *rdvSend) {
 		if share.Size <= 0 {
 			continue
 		}
-		caps := e.drvs[share.Driver].Caps()
+		caps := e.drvs[share.Rail].Caps()
 		csize := share.Size
 		if caps.RDMA {
 			if e.opts.BodyChunk > 0 && e.opts.BodyChunk < csize {
@@ -161,7 +156,7 @@ func (e *Engine) startBody(rs *rdvSend) {
 				n = rest
 			}
 			n = rs.body.capSegs(off, n, segCap)
-			chunks = append(chunks, chunk{drv: share.Driver, off: off, len: n, rdma: caps.RDMA})
+			chunks = append(chunks, chunk{drv: share.Rail, off: off, len: n, rdma: caps.RDMA})
 			off += n
 		}
 	}
@@ -195,6 +190,7 @@ func (e *Engine) startBody(rs *rdvSend) {
 			t0 := e.world.Now()
 			err := e.drvs[c.drv].Send(rs.gate.peer, simnet.TxRdma, data, aux, func() {
 				e.samplers[drv].observe(size, e.world.Now()-t0)
+				e.notifyComplete(drv, rs.gate.peer, size, 0, e.world.Now()-t0)
 				req.doneOne()
 				retire()
 			})

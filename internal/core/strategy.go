@@ -1,97 +1,144 @@
 package core
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-
 	"nmad/internal/drivers"
+	"nmad/sched"
 )
 
-// Strategy is the paper's pluggable optimization function (§3.2): when a
-// rail idles, the scheduler asks the strategy to elect the next request —
-// a packet taken from the optimization window, or one synthesized out of
-// several wrappers from that window. A strategy sees, through the gate
-// and the capability report, the inputs the paper lists: the number of
-// packets in the window, each packet's characteristics (destination, flow
-// tag, length, sequence number, flags), and the nominal characteristics
-// of the underlying network.
-//
-// Elect must not keep references to the returned output's entries; the
-// engine removes them from the window and hands them to the NIC.
-type Strategy interface {
-	// Name identifies the strategy in the registry.
-	Name() string
-	// Elect synthesizes the next physical packet for the given rail out
-	// of the gate's window, or returns nil to leave the rail idle.
-	// Oversized data wrappers have already been converted to rendezvous
-	// requests by the engine before Elect runs.
-	Elect(g *Gate, driver int, caps drivers.Caps) *output
+// The engine's side of the public scheduling SPI (package sched): this
+// file adapts the internal window and packet wrappers to the read-only
+// views strategies consume, and validates the elections they return.
+// Strategies — built-in or user-registered — never see a *packet or the
+// window itself, so the engine alone enforces the conservation contract:
+// every wrapper leaves the window exactly once, onto a rail that can
+// physically carry it.
+
+// windowView adapts one gate's window to sched.Window for one rail.
+type windowView struct {
+	g   *Gate
+	drv int
 }
 
-// BodyPlanner is implemented by strategies that control how a rendezvous
-// body is distributed over the rails (the paper's multi-rail splitting,
-// "possibly in a heterogeneous manner"). Strategies without it stream the
-// body over the best single rail.
-type BodyPlanner interface {
-	// PlanBody splits size bytes into per-rail shares. Shares must cover
-	// [0, size) exactly, in ascending offset order.
-	PlanBody(e *Engine, size int) []BodyShare
+func (v windowView) Peer() int { return int(v.g.peer) }
+
+func (v windowView) Pending() int { return v.g.win.pending(v.drv) }
+
+func (v windowView) Scan(visit func(sched.Wrapper) bool) {
+	v.g.win.scan(v.drv, func(pw *packet) bool { return visit(wrapperView(pw)) })
 }
 
-// BodyShare is one rail's slice of a rendezvous body.
-type BodyShare struct {
-	Driver int
-	Offset int
-	Size   int
-}
-
-// The strategy registry — the paper's "extensible and programmable set of
-// strategies", selectable by name at engine construction. The RWMutex
-// makes registration and lookup safe for concurrent engine construction
-// (many clusters assembled from parallel tests or goroutines).
-var (
-	strategyMu       sync.RWMutex
-	strategyRegistry = map[string]func() Strategy{}
-)
-
-// RegisterStrategy adds a constructor to the registry. Registering a
-// duplicate name panics: strategy names are global configuration keys.
-func RegisterStrategy(name string, mk func() Strategy) {
-	strategyMu.Lock()
-	defer strategyMu.Unlock()
-	if _, dup := strategyRegistry[name]; dup {
-		panic("core: duplicate strategy " + name)
+// wrapperView builds the SPI descriptor of one wrapper: the per-packet
+// characteristics the paper's §3.2 lists, plus the opaque identity the
+// election hands back.
+func wrapperView(pw *packet) sched.Wrapper {
+	var fl sched.Flags
+	if pw.flags&FlagPriority != 0 {
+		fl |= sched.Priority
 	}
-	strategyRegistry[name] = mk
-}
-
-// NewStrategy instantiates a registered strategy by name.
-func NewStrategy(name string) (Strategy, error) {
-	strategyMu.RLock()
-	mk, ok := strategyRegistry[name]
-	strategyMu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("core: unknown strategy %q (have %v)", name, StrategyNames())
+	if pw.flags&FlagUnordered != 0 {
+		fl |= sched.Unordered
 	}
-	return mk(), nil
-}
-
-// StrategyNames lists the registered strategies in sorted order.
-func StrategyNames() []string {
-	strategyMu.RLock()
-	defer strategyMu.RUnlock()
-	names := make([]string, 0, len(strategyRegistry))
-	for n := range strategyRegistry {
-		names = append(names, n)
+	if pw.ctrl() {
+		fl |= sched.Control
 	}
-	sort.Strings(names)
-	return names
+	return sched.Wrapper{
+		Dest:     int(pw.gate.peer),
+		Tag:      uint64(pw.tag),
+		Seq:      uint32(pw.seq),
+		Len:      pw.payloadLen(),
+		WireSize: pw.wireSize(),
+		Segments: pw.segCount(),
+		Flags:    fl,
+		Ref:      pw,
+	}
 }
 
-func init() {
-	RegisterStrategy("default", func() Strategy { return &defaultStrategy{} })
-	RegisterStrategy("aggreg", func() Strategy { return &aggregStrategy{} })
-	RegisterStrategy("split", func() Strategy { return &splitStrategy{} })
-	RegisterStrategy("prio", func() Strategy { return &prioStrategy{} })
+// railInfo combines a rail's nominal capability report with the sampled
+// functional bandwidth — the full RailInfo the SPI promises.
+func (e *Engine) railInfo(drv int) sched.RailInfo {
+	return sched.RailInfo{
+		Index:   drv,
+		Name:    e.drvs[drv].Name(),
+		Caps:    e.drvs[drv].Caps(),
+		Sampled: e.samplers[drv].estimate(),
+	}
+}
+
+// railInfos reports every attached rail, in attach order.
+func (e *Engine) railInfos() []sched.RailInfo {
+	out := make([]sched.RailInfo, len(e.drvs))
+	for i := range e.drvs {
+		out[i] = e.railInfo(i)
+	}
+	return out
+}
+
+// electOutput runs the strategy for one (gate, rail) pair and converts
+// its election into an output, enforcing the SPI contract: a pick must
+// still be in the rail's view (not stale), appear once (no duplication),
+// and fit the rail's gather capacity (sendable). Invalid picks are
+// dropped and their wrappers stay in the window — no strategy can lose
+// or duplicate application data.
+func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
+	el := e.strat.Elect(windowView{g: g, drv: drv}, e.railInfo(drv))
+	if el.Empty() {
+		return nil
+	}
+	// Membership check without allocating a set: stamp the current view
+	// with a fresh generation; a valid pick carries the stamp, which is
+	// cleared on pick so duplicates mismatch. Picks from another engine
+	// (a strategy value shared between engines) are rejected explicitly
+	// since their stamps are not ours.
+	e.electGen++
+	g.win.scan(drv, func(pw *packet) bool {
+		pw.gen = e.electGen
+		return true
+	})
+	var entries []*packet
+	segs := 0
+	for _, w := range el.Wrappers() {
+		pw, ok := w.Ref.(*packet)
+		if !ok || pw.gate == nil || pw.gate.eng != e || pw.gen != e.electGen {
+			continue // foreign, stale or duplicated pick
+		}
+		if segs+pw.segCount() > caps.MaxSegments {
+			continue // the rail cannot gather this train; leave it behind
+		}
+		pw.gen = 0
+		segs += pw.segCount()
+		entries = append(entries, pw)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	return &output{entries: entries}
+}
+
+// planBody asks the strategy for a rendezvous body plan and validates
+// it: shares must cover [0, size) exactly, in ascending offset order, on
+// attached rails. Invalid plans (and non-planner strategies) stream over
+// the best single rail.
+func (e *Engine) planBody(size int) []sched.BodyShare {
+	rails := e.railInfos()
+	bp, ok := e.strat.(sched.BodyPlanner)
+	if !ok || len(e.drvs) <= 1 {
+		return sched.SingleRail(rails, size)
+	}
+	plan := bp.PlanBody(rails, size)
+	if !validPlan(plan, size, len(e.drvs)) {
+		return sched.SingleRail(rails, size)
+	}
+	return plan
+}
+
+// validPlan checks the BodyPlanner contract.
+func validPlan(plan []sched.BodyShare, size, nRails int) bool {
+	off := 0
+	for _, s := range plan {
+		if s.Rail < 0 || s.Rail >= nRails || s.Offset != off || s.Size <= 0 {
+			return false
+		}
+		off += s.Size
+	}
+	return off == size
 }

@@ -6,6 +6,7 @@ import (
 	"nmad/internal/sim"
 	"nmad/internal/simnet"
 	"nmad/internal/trace"
+	"nmad/sched"
 )
 
 // Re-exported engine types: the public API is the engine plus MAD-MPI;
@@ -34,6 +35,21 @@ type (
 	InMessage = core.InMessage
 	// Stats are the engine's optimizer counters.
 	Stats = core.Stats
+
+	// Strategy is the public scheduling SPI (package sched): user code
+	// implements it to program the optimizer, and WithStrategy accepts
+	// values of it directly. The remaining SPI surface — Window,
+	// Wrapper, Election, RailInfo, the lifecycle hooks and the Chain
+	// combinator — lives in package nmad/sched.
+	Strategy = sched.Strategy
+	// RailInfo describes one rail to a strategy: nominal driver
+	// capabilities plus the sampled achieved bandwidth.
+	RailInfo = sched.RailInfo
+	// Election is the ordered train of wrappers a strategy elects.
+	Election = sched.Election
+	// Wrapper is the read-only descriptor of one optimization-window
+	// entry.
+	Wrapper = sched.Wrapper
 
 	// MPI and Comm are the MAD-MPI environment and communicator.
 	MPI  = madmpi.MPI
@@ -71,8 +87,14 @@ var (
 	// NewRequestGroup composes requests into one handle.
 	NewRequestGroup = core.NewRequestGroup
 
-	// Strategy registry access.
-	StrategyNames = core.StrategyNames
+	// Strategy registry access. Strategies lists the registered names;
+	// RegisterStrategy adds a constructor, returning an error on a
+	// duplicate name; ChainStrategies composes fallback stacks.
+	Strategies       = sched.Names
+	RegisterStrategy = sched.Register
+	ChainStrategies  = sched.Chain
+	// StrategyNames is the historical alias of Strategies.
+	StrategyNames = sched.Names
 	// NewTracer / NewRingTracer create scheduling-decision recorders.
 	NewTracer     = trace.NewRecorder
 	NewRingTracer = trace.NewRingRecorder
@@ -170,7 +192,11 @@ func (c *Cluster) Now() Time { return c.world.Now() }
 //
 //	e, err := cl.Engine(0, nmad.WithStrategy("split"), nmad.WithTracer(tr))
 func (c *Cluster) Engine(node int, opts ...EngineOption) (*Engine, error) {
-	e, err := core.New(c.fabric, simnet.NodeID(node), resolveEngine(opts))
+	o, err := resolveEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	e, err := core.New(c.fabric, simnet.NodeID(node), o)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +209,11 @@ func (c *Cluster) Engine(node int, opts ...EngineOption) (*Engine, error) {
 // MPI creates a MAD-MPI rank on the given node. Options configure the
 // underlying engine exactly as for Engine.
 func (c *Cluster) MPI(node int, opts ...EngineOption) (*MPI, error) {
-	return madmpi.Init(c.fabric, simnet.NodeID(node), resolveEngine(opts))
+	o, err := resolveEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return madmpi.Init(c.fabric, simnet.NodeID(node), o)
 }
 
 // Spawn starts a simulated process (one MPI rank's program, a benchmark

@@ -1,9 +1,12 @@
 package nmad
 
 import (
+	"fmt"
+
 	"nmad/internal/core"
 	"nmad/internal/simnet"
 	"nmad/internal/trace"
+	"nmad/sched"
 )
 
 // Functional options — the construction surface of the facade. Cluster
@@ -37,69 +40,94 @@ func WithHost(h Host) ClusterOption {
 // EngineOption configures one engine (or the engine under an MPI rank).
 // The zero configuration is the paper's MAD-MPI personality: the
 // aggregation strategy and the measured software overheads.
-type EngineOption func(*core.Options)
+type EngineOption func(*engineConfig)
 
-// resolveEngine folds options over the paper's default configuration.
-func resolveEngine(opts []EngineOption) core.Options {
-	o := core.DefaultOptions()
-	for _, opt := range opts {
-		opt(&o)
-	}
-	return o
+// engineConfig is the resolved engine configuration plus any option
+// error, reported when the engine is constructed rather than by panic.
+type engineConfig struct {
+	core.Options
+	err error
 }
 
-// WithStrategy selects the optimization strategy by registry name
-// ("default", "aggreg", "split", "prio", or anything registered through
-// core.RegisterStrategy).
-func WithStrategy(name string) EngineOption {
-	return func(o *core.Options) { o.Strategy = name }
+// resolveEngine folds options over the paper's default configuration.
+func resolveEngine(opts []EngineOption) (core.Options, error) {
+	c := engineConfig{Options: core.DefaultOptions()}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c.Options, c.err
+}
+
+// WithStrategy selects the optimization strategy: either a registry name
+// ("default", "aggreg", "split", "prio", "adaptive", or anything added
+// through RegisterStrategy), or a sched.Strategy value used directly —
+// the route for strategies that are configured per engine rather than
+// registered globally:
+//
+//	cl.Engine(0, nmad.WithStrategy("adaptive"))
+//	cl.Engine(1, nmad.WithStrategy(myStrategy{window: 8}))
+//
+// Any other argument type surfaces as an error from Engine/MPI.
+func WithStrategy(v any) EngineOption {
+	return func(c *engineConfig) {
+		switch s := v.(type) {
+		case string:
+			c.Strategy, c.StrategyImpl = s, nil
+		case sched.Strategy:
+			c.StrategyImpl = s
+		default:
+			if c.err == nil {
+				c.err = fmt.Errorf("nmad: WithStrategy wants a registry name or a sched.Strategy, got %T", v)
+			}
+		}
+	}
 }
 
 // WithTracer records every scheduling decision of the engine on the
 // virtual timeline.
 func WithTracer(tr *trace.Recorder) EngineOption {
-	return func(o *core.Options) { o.Tracer = tr }
+	return func(c *engineConfig) { c.Tracer = tr }
 }
 
 // WithSubmitOverhead sets the host software cost charged per request
 // entering the collect layer.
 func WithSubmitOverhead(d Time) EngineOption {
-	return func(o *core.Options) { o.SubmitOverhead = d }
+	return func(c *engineConfig) { c.SubmitOverhead = d }
 }
 
 // WithScheduleOverhead sets the host cost charged per output packet for
 // running the optimization function.
 func WithScheduleOverhead(d Time) EngineOption {
-	return func(o *core.Options) { o.ScheduleOverhead = d }
+	return func(c *engineConfig) { c.ScheduleOverhead = d }
 }
 
 // WithoutOverheads zeroes both software overheads (the idealized-engine
 // ablation).
 func WithoutOverheads() EngineOption {
-	return func(o *core.Options) {
-		o.SubmitOverhead = 0
-		o.ScheduleOverhead = 0
+	return func(c *engineConfig) {
+		c.SubmitOverhead = 0
+		c.ScheduleOverhead = 0
 	}
 }
 
 // WithBodyChunk caps the size of one rendezvous body transaction; larger
 // bodies are pipelined in chunks of this size.
 func WithBodyChunk(bytes int) EngineOption {
-	return func(o *core.Options) { o.BodyChunk = bytes }
+	return func(c *engineConfig) { c.BodyChunk = bytes }
 }
 
 // WithAnticipation enables the second scheduling mode of the paper's
 // §3.2: while a rail is busy the engine pre-builds one ready-to-send
 // packet, hiding the election cost behind the previous transmission.
 func WithAnticipation() EngineOption {
-	return func(o *core.Options) { o.Anticipate = true }
+	return func(c *engineConfig) { c.Anticipate = true }
 }
 
 // WithFlushBacklog enables the third scheduling mode of §3.2: once the
 // backlog a rail could send reaches n wrappers, the engine elects
 // unconditionally and queues the output at the (possibly busy) NIC.
 func WithFlushBacklog(n int) EngineOption {
-	return func(o *core.Options) { o.FlushBacklog = n }
+	return func(c *engineConfig) { c.FlushBacklog = n }
 }
 
 // Per-submission scheduling options, accepted by Gate.Isend, Gate.Isendv,

@@ -1,0 +1,60 @@
+package sched
+
+import "strings"
+
+// Chain composes strategies into a fallback stack: Elect tries each in
+// order and the first non-empty election wins. Lifecycle hooks fan out
+// to every member that implements them, and body planning is delegated
+// to the first member that is a BodyPlanner (single-rail streaming when
+// none is). An empty name derives one from the members.
+func Chain(name string, members ...Strategy) Strategy {
+	if name == "" {
+		parts := make([]string, len(members))
+		for i, m := range members {
+			parts[i] = m.Name()
+		}
+		name = strings.Join(parts, "+")
+	}
+	return &chain{name: name, members: members}
+}
+
+type chain struct {
+	name    string
+	members []Strategy
+}
+
+func (c *chain) Name() string { return c.name }
+
+func (c *chain) Elect(w Window, rail RailInfo) *Election {
+	for _, m := range c.members {
+		if el := m.Elect(w, rail); !el.Empty() {
+			return el
+		}
+	}
+	return nil
+}
+
+func (c *chain) PlanBody(rails []RailInfo, size int) []BodyShare {
+	for _, m := range c.members {
+		if bp, ok := m.(BodyPlanner); ok {
+			return bp.PlanBody(rails, size)
+		}
+	}
+	return SingleRail(rails, size)
+}
+
+func (c *chain) OnAttach(rail RailInfo) {
+	for _, m := range c.members {
+		if a, ok := m.(Attacher); ok {
+			a.OnAttach(rail)
+		}
+	}
+}
+
+func (c *chain) OnComplete(cp Completion) {
+	for _, m := range c.members {
+		if cc, ok := m.(Completer); ok {
+			cc.OnComplete(cp)
+		}
+	}
+}

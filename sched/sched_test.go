@@ -1,0 +1,324 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// fakeWindow drives strategies without an engine: the SPI is testable in
+// isolation, which is half the point of having it.
+type fakeWindow struct {
+	peer int
+	ws   []Wrapper
+}
+
+func (f fakeWindow) Peer() int    { return f.peer }
+func (f fakeWindow) Pending() int { return len(f.ws) }
+
+func (f fakeWindow) Scan(visit func(Wrapper) bool) {
+	for _, w := range f.ws {
+		if !visit(w) {
+			return
+		}
+	}
+}
+
+const testHeader = 24 // mirrors the engine's entry header size
+
+func mkw(payload, paySegs int, fl Flags) Wrapper {
+	return Wrapper{
+		Len:      payload,
+		WireSize: testHeader + payload,
+		Segments: 1 + paySegs,
+		Flags:    fl,
+		Ref:      new(int),
+	}
+}
+
+func testRail(maxSegs, rdvThreshold int, nominal, sampled float64) RailInfo {
+	r := RailInfo{Index: 0, Name: "fake", Sampled: sampled}
+	r.Caps.MaxSegments = maxSegs
+	r.Caps.RdvThreshold = rdvThreshold
+	r.Caps.Bandwidth = nominal
+	return r
+}
+
+func tags(el *Election) []uint64 {
+	var out []uint64
+	for _, w := range el.Wrappers() {
+		out = append(out, w.Tag)
+	}
+	return out
+}
+
+func TestElectionAccounting(t *testing.T) {
+	el := new(Election)
+	if !el.Empty() || el.Len() != 0 {
+		t.Fatal("zero election must be empty")
+	}
+	var nilEl *Election
+	if !nilEl.Empty() {
+		t.Fatal("nil election must read as empty")
+	}
+	a, b := mkw(100, 1, 0), mkw(50, 2, Priority)
+	el.Pick(a).Pick(b)
+	if el.Len() != 2 || el.WireSize() != a.WireSize+b.WireSize || el.Segments() != a.Segments+b.Segments {
+		t.Errorf("accounting: len=%d wire=%d segs=%d", el.Len(), el.WireSize(), el.Segments())
+	}
+	rail := testRail(8, 32<<10, 1e9, 0)
+	if !el.Fits(mkw(10, 1, 0), rail) {
+		t.Error("small wrapper should fit")
+	}
+	if el.Fits(mkw(10, 6, 0), rail) {
+		t.Error("wrapper overflowing the gather list must not fit")
+	}
+	if el.Fits(mkw(40<<10, 1, 0), rail) {
+		t.Error("wrapper overflowing the byte budget must not fit")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"default", "aggreg", "split", "prio", "adaptive"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() = %v, missing built-in %q", names, want)
+		}
+	}
+	if err := Register("aggreg", func() Strategy { return defaultStrategy{} }); err == nil {
+		t.Error("duplicate registration must error")
+	}
+	if err := Register("", nil); err == nil {
+		t.Error("empty registration must error")
+	}
+	if _, err := New("no-such-strategy"); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Errorf("New(unknown) = %v", err)
+	}
+	s, err := New("aggreg")
+	if err != nil || s.Name() != "aggreg" {
+		t.Errorf("New(aggreg) = %v, %v", s, err)
+	}
+}
+
+func TestAggregElection(t *testing.T) {
+	rail := testRail(16, 4<<10, 1e9, 0)
+	bulk := mkw(3<<10, 1, 0)
+	small1 := mkw(100, 1, 0)
+	ctrl := mkw(0, 0, Control)
+	small2 := mkw(100, 1, 0)
+	bulk.Tag, small1.Tag, ctrl.Tag, small2.Tag = 1, 2, 3, 4
+	w := fakeWindow{ws: []Wrapper{bulk, small1, ctrl, small2}}
+
+	el := aggregStrategy{}.Elect(w, rail)
+	got := tags(el)
+	// Control jumps to the front; the bulk wrapper fits, smalls follow.
+	want := []uint64{3, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("elected %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elected %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAggregReordersPastMisfit(t *testing.T) {
+	rail := testRail(16, 2<<10, 1e9, 0)
+	big := mkw(3<<10, 1, 0) // exceeds the aggregation budget alone
+	small := mkw(64, 1, 0)
+	big.Tag, small.Tag = 1, 2
+	w := fakeWindow{ws: []Wrapper{big, small}}
+
+	el := aggregStrategy{}.Elect(w, rail)
+	// The small wrapper is pulled past the misfit...
+	if got := tags(el); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("elected %v, want [2]", got)
+	}
+	// ...and the lone misfit still goes out by itself (progress).
+	el = aggregStrategy{}.Elect(fakeWindow{ws: []Wrapper{big}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("elected %v, want [1]", got)
+	}
+}
+
+func TestDefaultSkipsUngatherable(t *testing.T) {
+	rail := testRail(2, 32<<10, 1e9, 0)
+	wide := mkw(100, 4, 0) // 5 segments on a 2-segment rail
+	ok := mkw(100, 1, 0)
+	wide.Tag, ok.Tag = 1, 2
+	el := defaultStrategy{}.Elect(fakeWindow{ws: []Wrapper{wide, ok}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("elected %v, want [2]", got)
+	}
+	if el := (defaultStrategy{}).Elect(fakeWindow{ws: []Wrapper{wide}}, rail); !el.Empty() {
+		t.Error("nothing sendable: election must be empty")
+	}
+}
+
+func TestPrioPreemptsBulk(t *testing.T) {
+	rail := testRail(16, 32<<10, 1e9, 0)
+	bulk := mkw(8<<10, 1, 0)
+	urgent := mkw(16, 1, Priority)
+	bulk.Tag, urgent.Tag = 1, 2
+	el := prioStrategy{}.Elect(fakeWindow{ws: []Wrapper{bulk, urgent}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("elected %v, want the urgent wrapper alone", got)
+	}
+	// Without urgent traffic it degrades to aggregation.
+	el = prioStrategy{}.Elect(fakeWindow{ws: []Wrapper{bulk}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("elected %v, want [1]", got)
+	}
+}
+
+func validateCover(t *testing.T, plan []BodyShare, size int) {
+	t.Helper()
+	off := 0
+	for _, s := range plan {
+		if s.Offset != off || s.Size <= 0 {
+			t.Fatalf("plan %v does not cover [0,%d) in order", plan, size)
+		}
+		off += s.Size
+	}
+	if off != size {
+		t.Fatalf("plan %v covers %d of %d bytes", plan, off, size)
+	}
+}
+
+func TestSplitPlanProportional(t *testing.T) {
+	fast := testRail(16, 32<<10, 3e9, 0)
+	slow := testRail(16, 32<<10, 1e9, 0)
+	fast.Index, slow.Index = 0, 1
+	rails := []RailInfo{fast, slow}
+
+	size := 4 << 20
+	plan := splitStrategy{}.PlanBody(rails, size)
+	validateCover(t, plan, size)
+	if len(plan) != 2 {
+		t.Fatalf("plan %v, want two shares", plan)
+	}
+	ratio := float64(plan[0].Size) / float64(plan[1].Size)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("share ratio %.2f, want ~3 (bandwidth-proportional)", ratio)
+	}
+
+	// Small bodies stay on the best rail.
+	plan = splitStrategy{}.PlanBody(rails, 1<<10)
+	if len(plan) != 1 || plan[0].Rail != 0 {
+		t.Errorf("small-body plan %v, want single share on rail 0", plan)
+	}
+
+	// The sampled figure overrides the nominal one.
+	congested := fast
+	congested.Sampled = 0.5e9
+	plan = splitStrategy{}.PlanBody([]RailInfo{congested, slow}, size)
+	validateCover(t, plan, size)
+	if plan[0].Size >= plan[1].Size {
+		t.Errorf("plan %v: congested rail must get the smaller share", plan)
+	}
+}
+
+func TestChainFallback(t *testing.T) {
+	c := Chain("", prioStrategy{}, defaultStrategy{})
+	if c.Name() != "prio+default" {
+		t.Errorf("derived name %q", c.Name())
+	}
+	rail := testRail(16, 32<<10, 1e9, 0)
+	bulk := mkw(100, 1, 0)
+	bulk.Tag = 7
+	el := c.Elect(fakeWindow{ws: []Wrapper{bulk}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("chain elected %v", got)
+	}
+	if el := c.Elect(fakeWindow{}, rail); !el.Empty() {
+		t.Error("empty window must elect nothing")
+	}
+	// Body planning falls through to the first planner member; with none,
+	// single rail.
+	rails := []RailInfo{rail}
+	plan := c.(BodyPlanner).PlanBody(rails, 1<<20)
+	if len(plan) != 1 || plan[0].Size != 1<<20 {
+		t.Errorf("plannerless chain plan %v", plan)
+	}
+	c2 := Chain("x", prioStrategy{}, splitStrategy{})
+	fast, slow := testRail(16, 32<<10, 2e9, 0), testRail(16, 32<<10, 2e9, 0)
+	fast.Index, slow.Index = 0, 1
+	plan = c2.(BodyPlanner).PlanBody([]RailInfo{fast, slow}, 4<<20)
+	if len(plan) != 2 {
+		t.Errorf("chain must delegate to split's planner, got %v", plan)
+	}
+}
+
+func TestAdaptiveShrinksAggregationUnderCongestion(t *testing.T) {
+	healthy := testRail(16, 8<<10, 1e9, 0)
+	congested := testRail(16, 8<<10, 1e9, 0.4e9) // achieving 40% of nominal
+
+	var ws []Wrapper
+	for i := 0; i < 4; i++ {
+		w := mkw(2<<10, 1, 0)
+		w.Tag = uint64(i)
+		ws = append(ws, w)
+	}
+	s := newAdaptive()
+	full := s.Elect(fakeWindow{ws: ws}, healthy)
+	short := s.Elect(fakeWindow{ws: ws}, congested)
+	if full.Len() <= short.Len() {
+		t.Errorf("congested rail train (%d) must be shorter than healthy (%d)", short.Len(), full.Len())
+	}
+	if short.Empty() {
+		t.Error("congestion must never starve the rail entirely")
+	}
+}
+
+func TestAdaptiveDropsCollapsedRail(t *testing.T) {
+	size := 4 << 20
+	// Both orderings: the collapsed rail must be avoided whether it is
+	// engine rail 0 or 1 (plans carry engine indices, not slice
+	// positions).
+	for deadIdx := 0; deadIdx < 2; deadIdx++ {
+		fast := testRail(16, 32<<10, 1e9, 1e9)
+		dead := testRail(16, 32<<10, 1e9, 0.02e9) // collapsed to 2%
+		fast.Index, dead.Index = 1-deadIdx, deadIdx
+		rails := make([]RailInfo, 2)
+		rails[fast.Index], rails[dead.Index] = fast, dead
+		s := newAdaptive()
+		plan := s.PlanBody(rails, size)
+		validateCover(t, plan, size)
+		for _, share := range plan {
+			if share.Rail == deadIdx {
+				t.Errorf("deadIdx=%d: plan %v routes bytes onto the collapsed rail", deadIdx, plan)
+			}
+		}
+	}
+}
+
+func TestBestRailOnFilteredSubset(t *testing.T) {
+	r2 := testRail(16, 32<<10, 2e9, 0)
+	r5 := testRail(16, 32<<10, 1e9, 0)
+	r2.Index, r5.Index = 2, 5
+	if got := BestRail([]RailInfo{r5, r2}); got != 2 {
+		t.Errorf("BestRail = %d, want engine index 2", got)
+	}
+	plan := SingleRail([]RailInfo{r5}, 1<<20)
+	if len(plan) != 1 || plan[0].Rail != 5 {
+		t.Errorf("SingleRail on a subset = %v, want rail 5", plan)
+	}
+}
+
+func TestAdaptiveFeedbackLog(t *testing.T) {
+	s := newAdaptive()
+	s.OnAttach(testRail(16, 32<<10, 1e9, 0))
+	s.OnComplete(Completion{Rail: 0, Bytes: 1000, Entries: 3, Duration: 10})
+	s.OnComplete(Completion{Rail: 0, Bytes: 1 << 20, Entries: 0, Duration: 100}) // a body
+	snap := s.Snapshot()
+	l := snap[0]
+	if !l.Attached || l.Packets != 1 || l.Bodies != 1 || l.Entries != 3 || l.Bytes != 1000+1<<20 {
+		t.Errorf("feedback log %+v", l)
+	}
+}

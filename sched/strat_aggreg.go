@@ -1,6 +1,4 @@
-package core
-
-import "nmad/internal/drivers"
+package sched
 
 // aggregStrategy is the paper's aggregation strategy (§4): it
 // "accumulates communication requests as long as the cumulated length
@@ -22,56 +20,52 @@ type aggregStrategy struct{}
 
 func (aggregStrategy) Name() string { return "aggreg" }
 
-func (aggregStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
-	limit := caps.RdvThreshold
-	maxSegs := caps.MaxSegments
+func (aggregStrategy) Elect(w Window, rail RailInfo) *Election {
+	return accumulate(w, rail, rail.Caps.RdvThreshold)
+}
 
-	var ctrl, data []*packet
-	bytes, segs := 0, 0
-	fits := func(pw *packet) bool {
-		return segs+pw.segCount() <= maxSegs && bytes+pw.wireSize() <= limit
-	}
-	pick := func(pw *packet, into *[]*packet) {
-		*into = append(*into, pw)
-		segs += pw.segCount()
-		bytes += pw.wireSize()
-	}
+// accumulate is the shared two-pass accumulation core: urgent wrappers
+// first, then data wrappers in order, scanning past misfits (the
+// reordering), all within the rail's gather capacity and the given byte
+// limit.
+func accumulate(w Window, rail RailInfo, limit int) *Election {
+	maxSegs := rail.Caps.MaxSegments
+	el := new(Election)
 
 	// Pass 1: control and priority wrappers, in order.
-	g.win.scan(driver, func(pw *packet) bool {
-		if pw.prio() && fits(pw) {
-			pick(pw, &ctrl)
+	w.Scan(func(pw Wrapper) bool {
+		if pw.Urgent() && el.FitsWithin(pw, maxSegs, limit) {
+			el.Pick(pw)
 		}
-		return segs < maxSegs
+		return el.Segments() < maxSegs
 	})
 
 	// Pass 2: data wrappers in order, scanning past misfits (reordering).
-	g.win.scan(driver, func(pw *packet) bool {
-		if pw.prio() {
+	w.Scan(func(pw Wrapper) bool {
+		if pw.Urgent() {
 			return true // already considered
 		}
-		if fits(pw) {
-			pick(pw, &data)
+		if el.FitsWithin(pw, maxSegs, limit) {
+			el.Pick(pw)
 		}
-		return segs < maxSegs
+		return el.Segments() < maxSegs
 	})
 
-	entries := append(ctrl, data...)
-	if len(entries) == 0 {
+	if el.Empty() {
 		// Guarantee progress: a lone wrapper larger than the aggregation
 		// limit (a rendezvous body chunk on a non-RDMA rail) still goes
 		// out, alone — but never one whose gather list this rail cannot
 		// accept; a wider rail will take it.
-		g.win.scan(driver, func(pw *packet) bool {
-			if pw.segCount() > maxSegs {
+		w.Scan(func(pw Wrapper) bool {
+			if pw.Segments > maxSegs {
 				return true
 			}
-			entries = append(entries, pw)
+			el.Pick(pw)
 			return false
 		})
-		if len(entries) == 0 {
+		if el.Empty() {
 			return nil
 		}
 	}
-	return &output{entries: entries}
+	return el
 }

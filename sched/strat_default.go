@@ -1,6 +1,4 @@
-package core
-
-import "nmad/internal/drivers"
+package sched
 
 // defaultStrategy is the no-optimization reference: strict FIFO, one
 // wrapper per physical packet, no aggregation, no reordering. It is the
@@ -10,17 +8,17 @@ type defaultStrategy struct{}
 
 func (defaultStrategy) Name() string { return "default" }
 
-func (defaultStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
-	var head *packet
-	g.win.scan(driver, func(pw *packet) bool {
-		if pw.segCount() > caps.MaxSegments {
+func (defaultStrategy) Elect(w Window, rail RailInfo) *Election {
+	el := new(Election)
+	w.Scan(func(pw Wrapper) bool {
+		if pw.Segments > rail.Caps.MaxSegments {
 			return true // this rail cannot gather it; a wider rail will
 		}
-		head = pw
+		el.Pick(pw)
 		return false
 	})
-	if head == nil {
+	if el.Empty() {
 		return nil
 	}
-	return &output{entries: []*packet{head}}
+	return el
 }

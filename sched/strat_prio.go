@@ -1,6 +1,4 @@
-package core
-
-import "nmad/internal/drivers"
+package sched
 
 // prioStrategy favors the earliest possible delivery of priority
 // wrappers: the paper's motivating RPC case, where the service id must
@@ -14,23 +12,20 @@ type prioStrategy struct {
 
 func (prioStrategy) Name() string { return "prio" }
 
-func (s *prioStrategy) Elect(g *Gate, driver int, caps drivers.Caps) *output {
-	var urgent []*packet
-	segs, bytes := 0, 0
-	g.win.scan(driver, func(pw *packet) bool {
-		if !pw.prio() {
+func (s prioStrategy) Elect(w Window, rail RailInfo) *Election {
+	el := new(Election)
+	w.Scan(func(pw Wrapper) bool {
+		if !pw.Urgent() {
 			return true
 		}
-		if segs+pw.segCount() > caps.MaxSegments || bytes+pw.wireSize() > caps.RdvThreshold {
+		if !el.Fits(pw, rail) {
 			return false
 		}
-		urgent = append(urgent, pw)
-		segs += pw.segCount()
-		bytes += pw.wireSize()
+		el.Pick(pw)
 		return true
 	})
-	if len(urgent) > 0 {
-		return &output{entries: urgent}
+	if !el.Empty() {
+		return el
 	}
-	return s.fallback.Elect(g, driver, caps)
+	return s.fallback.Elect(w, rail)
 }

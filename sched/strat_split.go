@@ -1,4 +1,4 @@
-package core
+package sched
 
 // splitStrategy is the paper's multi-rails strategy (§4): it "balances
 // the communication flow over the set of available NICs, possibly by
@@ -6,7 +6,7 @@ package core
 // behaves like the aggregation strategy (the common submission list
 // already load-balances small traffic onto whichever rail idles first);
 // the multi-rail work happens on rendezvous bodies, which are split
-// across every rail proportionally to nominal bandwidth.
+// across every rail proportionally to bandwidth.
 type splitStrategy struct {
 	aggregStrategy
 }
@@ -20,20 +20,20 @@ const minShare = 4 << 10
 // PlanBody implements BodyPlanner with bandwidth-proportional shares.
 // Proportions use the sampled (functional) bandwidth of each rail when
 // the sampler has warmed up, the nominal capability figure before that.
-func (splitStrategy) PlanBody(e *Engine, size int) []BodyShare {
-	type rail struct {
-		idx int
-		bw  float64
-	}
-	var rails []rail
+func (splitStrategy) PlanBody(rails []RailInfo, size int) []BodyShare {
+	return proportionalPlan(rails, size, RailInfo.Bandwidth)
+}
+
+// proportionalPlan shares size bytes over the rails proportionally to
+// the given bandwidth figure, giving rounding remainders to the last
+// share and degenerating to a single rail for small bodies.
+func proportionalPlan(rails []RailInfo, size int, bw func(RailInfo) float64) []BodyShare {
 	var total float64
-	for i := range e.drvs {
-		bw := e.railBandwidth(i)
-		rails = append(rails, rail{idx: i, bw: bw})
-		total += bw
+	for _, r := range rails {
+		total += bw(r)
 	}
-	if len(rails) == 1 || size < 2*minShare {
-		return singleRailPlan(e, size)
+	if len(rails) == 1 || size < 2*minShare || total <= 0 {
+		return SingleRail(rails, size)
 	}
 	var plan []BodyShare
 	off := 0
@@ -42,19 +42,19 @@ func (splitStrategy) PlanBody(e *Engine, size int) []BodyShare {
 		if i == len(rails)-1 {
 			share = size - off // exact cover, absorb rounding
 		} else {
-			share = int(float64(size) * r.bw / total)
+			share = int(float64(size) * bw(r) / total)
 			share = min(share, size-off)
 		}
 		if share <= 0 {
 			continue
 		}
-		plan = append(plan, BodyShare{Driver: r.idx, Offset: off, Size: share})
+		plan = append(plan, BodyShare{Rail: r.Index, Offset: off, Size: share})
 		off += share
 	}
 	if off != size {
 		// All rounding ended up dropping bytes; give the remainder to the
 		// fastest rail.
-		plan = append(plan, BodyShare{Driver: bestRail(e), Offset: off, Size: size - off})
+		plan = append(plan, BodyShare{Rail: BestRail(rails), Offset: off, Size: size - off})
 	}
 	return plan
 }

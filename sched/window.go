@@ -1,0 +1,112 @@
+package sched
+
+// Flags describe how a wrapper may be scheduled, the SPI mirror of the
+// engine's wire flags plus the control marker.
+type Flags uint8
+
+const (
+	// Priority marks a wrapper whose earliest delivery the application
+	// requested (the paper's RPC service-id pattern).
+	Priority Flags = 1 << iota
+	// Unordered marks a wrapper the receiver may deliver outside the
+	// per-flow sequence order.
+	Unordered
+	// Control marks protocol control traffic (rendezvous handshake,
+	// synchronous-send acks): header-only entries the engine synthesized.
+	Control
+)
+
+// Has reports whether any flag of mask is set.
+func (f Flags) Has(mask Flags) bool { return f&mask != 0 }
+
+// Wrapper is the read-only descriptor of one packet wrapper in the
+// optimization window: the per-packet characteristics the paper's §3.2
+// hands to the optimization function.
+type Wrapper struct {
+	// Dest is the destination node of the wrapper's gate.
+	Dest int
+	// Tag is the logical flow the wrapper belongs to.
+	Tag uint64
+	// Seq orders the wrapper within its (gate, tag) flow.
+	Seq uint32
+	// Len is the logical payload size in bytes (0 for control entries).
+	Len int
+	// WireSize is the wrapper's footprint inside an output packet:
+	// entry header plus payload.
+	WireSize int
+	// Segments is the number of NIC gather segments the wrapper
+	// occupies (header plus payload segments).
+	Segments int
+	// Flags carry the scheduling hints.
+	Flags Flags
+
+	// Ref is the engine-private identity of the wrapper. It is opaque:
+	// strategies must carry it through into elections untouched. A
+	// wrapper whose Ref is stale (already sent) or foreign is silently
+	// dropped from elections by the engine.
+	Ref any
+}
+
+// Urgent reports whether the optimizer should favor early delivery:
+// application-priority wrappers and protocol control.
+func (w Wrapper) Urgent() bool { return w.Flags.Has(Priority | Control) }
+
+// Window is the per-rail view over one gate's optimization window: every
+// wrapper the rail could send (its pinned submissions plus the common
+// load-balanced list), in submission order.
+type Window interface {
+	// Peer is the destination node of every wrapper in this view.
+	Peer() int
+	// Pending is the number of wrappers visible in the view.
+	Pending() int
+	// Scan visits the wrappers in submission order until visit returns
+	// false. The view is stable for the duration of one Elect call.
+	Scan(visit func(w Wrapper) bool)
+}
+
+// Election is the strategy's answer: an ordered train of wrappers to
+// leave the window as one physical packet. The zero value is an empty
+// election; Pick appends and maintains the running wire-size and
+// gather-segment totals that accumulation strategies budget with.
+type Election struct {
+	entries []Wrapper
+	bytes   int
+	segs    int
+}
+
+// Pick appends a wrapper to the train and returns the election for
+// chaining.
+func (e *Election) Pick(w Wrapper) *Election {
+	e.entries = append(e.entries, w)
+	e.bytes += w.WireSize
+	e.segs += w.Segments
+	return e
+}
+
+// Len is the number of picked wrappers.
+func (e *Election) Len() int { return len(e.entries) }
+
+// Empty reports whether nothing was picked (nil-safe).
+func (e *Election) Empty() bool { return e == nil || len(e.entries) == 0 }
+
+// WireSize is the accumulated wire footprint of the train.
+func (e *Election) WireSize() int { return e.bytes }
+
+// Segments is the accumulated NIC gather-segment count of the train.
+func (e *Election) Segments() int { return e.segs }
+
+// Wrappers returns the picked train in pick order.
+func (e *Election) Wrappers() []Wrapper { return e.entries }
+
+// Fits reports whether picking w would keep the train within the rail's
+// aggregation budget: the native gather capacity and the eager-protocol
+// limit (the rendezvous threshold, which also caps aggregation).
+func (e *Election) Fits(w Wrapper, rail RailInfo) bool {
+	return e.FitsWithin(w, rail.Caps.MaxSegments, rail.Caps.RdvThreshold)
+}
+
+// FitsWithin is Fits against explicit segment and byte budgets, for
+// strategies that scale the aggregation limit themselves.
+func (e *Election) FitsWithin(w Wrapper, maxSegs, maxBytes int) bool {
+	return e.segs+w.Segments <= maxSegs && e.bytes+w.WireSize <= maxBytes
+}

@@ -1,32 +1,37 @@
 // Command nmad-bench regenerates the figures and tables of the paper's
-// evaluation section (§5) plus the ablations listed in DESIGN.md.
+// evaluation section (§5) plus the ablations listed in DESIGN.md and the
+// incast overload workload.
 //
 // Usage:
 //
 //	nmad-bench -fig 2a            # one figure, aligned table on stdout
 //	nmad-bench -fig all           # everything (takes a minute)
 //	nmad-bench -fig 4a -format csv
-//	nmad-bench -fig 3a -json      # machine-readable, for BENCH_*.json trajectories
+//	nmad-bench -fig incast,5.1 -json  # machine-readable, for BENCH_*.json trajectories
 //	nmad-bench -list
 //
 // Every report is stamped with the strategy and engine options each
-// MAD-MPI series ran with.
+// MAD-MPI series ran with. With -json and more than one figure the
+// output is a single JSON array.
 //
 // Figure ids: 2a 2b 2c 2d (raw ping-pong), 5.1 (overhead summary),
 // 3a 3b 3c 3d (multi-segment ping-pong), 4a 4b (indexed datatype),
-// ablation-strategies ablation-multirail ablation-overhead ablation-rdv.
+// incast (N-to-1 overload under credit flow control),
+// ablation-strategies ablation-multirail ablation-overhead ablation-rdv
+// ablation-modes ablation-composite ablation-sampling.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nmad"
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id to regenerate, or 'all'")
+	fig := flag.String("fig", "", "figure id(s, comma-separated) to regenerate, or 'all'")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (same as -format json)")
 	list := flag.Bool("list", false, "list figure ids and exit")
@@ -46,12 +51,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	ids := []string{*fig}
+	ids := strings.Split(*fig, ",")
 	if *fig == "all" {
 		ids = nmad.BenchFigureIDs()
 	}
+	var jsons []string
 	for _, id := range ids {
-		result, err := nmad.BenchRun(id)
+		result, err := nmad.BenchRun(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nmad-bench: %v\n", err)
 			os.Exit(1)
@@ -62,10 +68,19 @@ func main() {
 		case "csv":
 			fmt.Printf("# figure %s: %s\n%s\n", result.ID, result.Title, nmad.BenchFormatCSV(result))
 		case "json":
-			fmt.Println(nmad.BenchFormatJSON(result))
+			jsons = append(jsons, nmad.BenchFormatJSON(result))
 		default:
 			fmt.Fprintf(os.Stderr, "nmad-bench: unknown format %q\n", *format)
 			os.Exit(2)
+		}
+	}
+	if *format == "json" {
+		// One figure prints bare; several print as a JSON array so a
+		// BENCH_*.json trajectory file stays a single valid document.
+		if len(jsons) == 1 {
+			fmt.Println(jsons[0])
+		} else {
+			fmt.Printf("[\n%s\n]\n", strings.Join(jsons, ",\n"))
 		}
 	}
 }

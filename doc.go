@@ -57,6 +57,32 @@
 //	e0, _ := cl.Engine(0, nmad.WithStrategy(myStrategy{}))
 //	_ = nmad.RegisterStrategy("mine", func() nmad.Strategy { return myStrategy{} })
 //
+// # Flow control and overload
+//
+// Under many-to-one overload an unbounded receive queue is an
+// out-of-memory scenario. WithCredits(n) enables credit-based receive
+// flow control: every gate starts with n eager landing credits, a sent
+// data wrapper consumes one, and the receiver returns credits as it
+// consumes wrappers — replenishment travels as a control entry that
+// aggregates with outbound traffic like the rendezvous handshake. While
+// a peer's budget is exhausted the sender's data wrappers wait in the
+// optimization window, invisible to strategies (sched.Window.Credits
+// reports the remaining budget), so the eager traffic in the receiver's
+// unexpected queue and resequencing buffers stays bounded by the budget
+// (Stats.PeakUnexpected, Stats.PeakHeld); rendezvous requests queue as
+// bare headers with their bodies gated by the grant cap.
+// WithMaxGrants(n) caps concurrent inbound rendezvous
+// transactions with deferred grants; a grant is always clamped to the
+// posted landing capacity (short buffers complete with ErrTruncated and
+// the excess never crosses the wire); and receive-path protocol
+// anomalies are counted (Stats.ProtocolErrors, Gate.ProtocolErrors)
+// instead of panicking the node:
+//
+//	e0, _ := cl.Engine(0, nmad.WithCredits(32), nmad.WithMaxGrants(4))
+//
+// The incast bench workload (nmad-bench -fig incast) exercises exactly
+// this scenario.
+//
 // # Layout
 //
 //   - package nmad (this package): the facade — Cluster assembly,

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"nmad/internal/core"
+	"nmad/internal/sim"
 	"nmad/internal/simnet"
 )
 
@@ -197,7 +198,7 @@ func TestRunRegistry(t *testing.T) {
 	ids := FigureIDs()
 	want := []string{"2a", "2b", "2c", "2d", "3a", "3b", "3c", "3d", "4a", "4b", "5.1",
 		"ablation-composite", "ablation-modes", "ablation-multirail", "ablation-overhead",
-		"ablation-rdv", "ablation-sampling", "ablation-strategies"}
+		"ablation-rdv", "ablation-sampling", "ablation-strategies", "incast"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry %v, want %v", ids, want)
 	}
@@ -361,5 +362,34 @@ func TestMultirailAblationWins(t *testing.T) {
 	}
 	if speedup := one / two; speedup < 1.3 || speedup > 1.9 {
 		t.Errorf("two-rail speedup %.2fx on 8MB, want ~1.7x (bandwidth sum / MX alone)", speedup)
+	}
+}
+
+func TestIncastWorkloadBoundedByCredits(t *testing.T) {
+	bounded, err := Incast(IncastConfig{
+		Senders: 4, Msgs: 24, Size: 1 << 10,
+		Credits: 8, MaxGrants: 2, DrainGap: 2 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounded.PeakUnexpected > 8 {
+		t.Errorf("peak unexpected queue %d exceeds the credit budget 8", bounded.PeakUnexpected)
+	}
+	if bounded.ProtocolErrors != 0 {
+		t.Errorf("protocol errors under overload: %d", bounded.ProtocolErrors)
+	}
+	if want := int64(4 * 24 * (1 << 10)); bounded.Delivered != want {
+		t.Errorf("delivered %d bytes, want %d", bounded.Delivered, want)
+	}
+	free, err := Incast(IncastConfig{
+		Senders: 4, Msgs: 24, Size: 1 << 10, DrainGap: 2 * sim.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.PeakUnexpected <= bounded.PeakUnexpected {
+		t.Errorf("without flow control the queue peaked at %d, bounded run at %d: the workload no longer overloads",
+			free.PeakUnexpected, bounded.PeakUnexpected)
 	}
 }

@@ -102,6 +102,12 @@ func summarizeOptions(o core.Options) string {
 	if o.FlushBacklog > 0 {
 		parts = append(parts, fmt.Sprintf("flush=%d", o.FlushBacklog))
 	}
+	if o.Credits > 0 {
+		parts = append(parts, fmt.Sprintf("credits=%d", o.Credits))
+	}
+	if o.MaxGrants > 0 {
+		parts = append(parts, fmt.Sprintf("grants=%d", o.MaxGrants))
+	}
 	return strings.Join(parts, " ")
 }
 

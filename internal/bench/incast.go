@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// The incast overload workload: N senders flood one receiver that drains
+// slowly — the many-to-one traffic pattern that turns an unbounded
+// receive queue into an out-of-memory scenario at production scale. With
+// credit flow control (core.Options.Credits) the excess backlog stays in
+// each sender's collect layer and the receiver's queues stay bounded by
+// the per-gate budget; without it they grow with the flood.
+
+// IncastConfig parameterizes one incast run.
+type IncastConfig struct {
+	// Senders is the fan-in: nodes 1..Senders all target node 0.
+	Senders int
+	// Msgs eager messages of Size bytes per sender, submitted as one
+	// burst before any wait.
+	Msgs int
+	Size int
+	// Credits is the per-gate eager landing budget (0 = flow control
+	// off); MaxGrants caps concurrent inbound rendezvous grants.
+	Credits   int
+	MaxGrants int
+	// DrainGap is how long the receiver works between consecutive
+	// receives of one flow — the "slow receiver" that builds the
+	// overload. 0 means drain at full speed.
+	DrainGap sim.Time
+}
+
+// IncastResult is what one incast run measured.
+type IncastResult struct {
+	// CompletionUs is the virtual time until every payload delivered.
+	CompletionUs float64
+	// PeakUnexpected / PeakHeld are the receiver's high-water marks: the
+	// largest unexpected queue of any single gate and the largest
+	// resequencing buffer of any single flow.
+	PeakUnexpected int
+	PeakHeld       int
+	// ProtocolErrors counts receive-path anomalies (must stay 0).
+	ProtocolErrors int
+	// Delivered is the payload byte count received intact.
+	Delivered int64
+}
+
+// Incast runs the workload on a single-rail MX fabric and verifies every
+// delivered payload byte.
+func Incast(cfg IncastConfig) (IncastResult, error) {
+	if cfg.Senders < 1 || cfg.Msgs < 1 {
+		return IncastResult{}, fmt.Errorf("bench: incast needs at least one sender and one message, got %+v", cfg)
+	}
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, cfg.Senders+1, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		return IncastResult{}, err
+	}
+	opts := core.DefaultOptions()
+	opts.Credits = cfg.Credits
+	opts.MaxGrants = cfg.MaxGrants
+
+	mkEngine := func(node simnet.NodeID) (*core.Engine, error) {
+		e, err := core.New(f, node, opts)
+		if err != nil {
+			return nil, err
+		}
+		return e, e.AttachFabric(f)
+	}
+	recv, err := mkEngine(0)
+	if err != nil {
+		return IncastResult{}, err
+	}
+	senders := make([]*core.Engine, cfg.Senders)
+	for i := range senders {
+		if senders[i], err = mkEngine(simnet.NodeID(i + 1)); err != nil {
+			return IncastResult{}, err
+		}
+	}
+
+	fill := func(sender, msg int, buf []byte) {
+		for i := range buf {
+			buf[i] = byte(sender*31 + msg*7 + i)
+		}
+	}
+
+	var res IncastResult
+	var done sim.Time
+	for s, e := range senders {
+		s, e := s, e
+		w.Spawn(fmt.Sprintf("sender-%d", s+1), func(p *sim.Proc) {
+			reqs := make([]core.Request, 0, cfg.Msgs)
+			for m := 0; m < cfg.Msgs; m++ {
+				buf := make([]byte, cfg.Size)
+				fill(s+1, m, buf)
+				reqs = append(reqs, e.Gate(0).Isend(p, Tagged(s+1), buf))
+			}
+			if err := core.WaitAll(p, reqs...); err != nil {
+				panic(fmt.Sprintf("incast sender %d: %v", s+1, err))
+			}
+		})
+	}
+	for s := range senders {
+		s := s
+		w.Spawn(fmt.Sprintf("drain-%d", s+1), func(p *sim.Proc) {
+			g := recv.Gate(simnet.NodeID(s + 1))
+			want := make([]byte, cfg.Size)
+			for m := 0; m < cfg.Msgs; m++ {
+				if cfg.DrainGap > 0 {
+					p.Sleep(cfg.DrainGap)
+				}
+				buf := make([]byte, cfg.Size)
+				n, err := g.Recv(p, Tagged(s+1), buf)
+				if err != nil {
+					panic(fmt.Sprintf("incast recv from %d: %v", s+1, err))
+				}
+				fill(s+1, m, want)
+				for i := 0; i < n; i++ {
+					if buf[i] != want[i] {
+						panic(fmt.Sprintf("incast: corrupt byte %d from sender %d msg %d", i, s+1, m))
+					}
+				}
+				res.Delivered += int64(n)
+				if p.Now() > done {
+					done = p.Now()
+				}
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		return IncastResult{}, fmt.Errorf("bench: incast(%d senders, credits=%d): %w", cfg.Senders, cfg.Credits, err)
+	}
+	st := recv.Stats()
+	res.CompletionUs = done.Microseconds()
+	res.PeakUnexpected = st.PeakUnexpected
+	res.PeakHeld = st.PeakHeld
+	res.ProtocolErrors = st.ProtocolErrors
+	return res, nil
+}

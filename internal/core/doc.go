@@ -23,6 +23,13 @@
 //     minimal network API and calls back into the scheduler whenever a
 //     card drains.
 //
+// The receive side is defended against overload: with Options.Credits
+// the collect layer holds eager data wrappers back once the peer's
+// landing credits are exhausted (credit replenishment rides outbound
+// traffic as an aggregable control entry), Options.MaxGrants bounds
+// concurrent inbound rendezvous transactions, and protocol anomalies on
+// the receive path are counted per gate instead of crashing the node.
+//
 // Two application interfaces are provided, matching the paper's §3.4: the
 // Madeleine-style incremental pack/unpack interface (a message is several
 // pieces of data located anywhere in user space, delimited by begin/end

@@ -46,6 +46,21 @@ type Options struct {
 	// output at the (possibly busy) NIC. 0 disables; the default
 	// just-in-time behaviour only elects on NIC-idle events.
 	FlushBacklog int
+	// Credits enables credit-based receive flow control: every gate
+	// starts with this many eager landing credits, each eager data
+	// wrapper sent consumes one, and the receiver returns credits as it
+	// consumes the wrappers (replenishment rides outbound traffic as an
+	// aggregable control entry). While a peer's credits are exhausted,
+	// data wrappers stay in the window and strategies do not see them —
+	// the receive queues (unexpected, resequencing) stay bounded by the
+	// budget instead of growing without limit under overload. Both ends
+	// of a gate must run with the same setting. 0 disables.
+	Credits int
+	// MaxGrants caps the concurrent inbound rendezvous transactions a
+	// node grants; further matched rendezvous requests wait with a
+	// deferred CTS until an active transaction retires. 0 means
+	// unbounded.
+	MaxGrants int
 	// Tracer, when non-nil, records every scheduling decision on the
 	// virtual timeline (see package trace).
 	Tracer *trace.Recorder
@@ -70,18 +85,30 @@ type Engine struct {
 	opts  Options
 	strat sched.Strategy
 
-	drvs     []drivers.Driver
-	feeding  []bool          // rail claimed by an output being built (ScheduleOverhead)
-	staged   []*stagedOutput // pre-built packet per rail (Options.Anticipate)
-	samplers []*railSampler  // achieved-bandwidth estimators per rail
+	drvs []drivers.Driver
+	// feeding counts the outputs claiming a rail while their schedule
+	// overhead is still being paid; railFreeAt is when the rail's last
+	// claimed overhead window ends, so back-to-back flush elections
+	// serialize instead of overlapping.
+	feeding    []int
+	railFreeAt []sim.Time
+	staged     []*stagedOutput // pre-built packet per rail (Options.Anticipate)
+	samplers   []*railSampler  // achieved-bandwidth estimators per rail
+	// pendingCommon / pendingPinned track the engine-wide window
+	// population incrementally, so RailInfo.Backlog is O(1) on the
+	// NIC-idle hot path instead of a sweep over every gate.
+	pendingCommon int
+	pendingPinned []int
 
 	gates     map[simnet.NodeID]*Gate
 	gateOrder []*Gate // deterministic iteration
 	rr        int     // round-robin cursor over gates
 	electGen  uint64  // election-validation generation (see electOutput)
+	creditGen uint64  // credit-window stamp generation (see scanEligible)
 
 	rdvSend   map[uint32]*rdvSend
 	rdvRecv   map[rdvKey]*rdvRecv
+	rdvWait   []pendingGrant // matched RTSes awaiting a grant slot (Options.MaxGrants)
 	nextRdvID uint32
 
 	syncAcks   map[uint32]*SendRequest // synchronous sends awaiting the ack
@@ -128,7 +155,9 @@ func (e *Engine) Attach(drv drivers.Driver) error {
 		return err
 	}
 	e.drvs = append(e.drvs, drv)
-	e.feeding = append(e.feeding, false)
+	e.feeding = append(e.feeding, 0)
+	e.railFreeAt = append(e.railFreeAt, 0)
+	e.pendingPinned = append(e.pendingPinned, 0)
 	e.staged = append(e.staged, nil)
 	e.samplers = append(e.samplers, new(railSampler))
 	e.stats.PerDriverBytes = append(e.stats.PerDriverBytes, 0)
@@ -203,6 +232,7 @@ func (e *Engine) Gate(peer simnet.NodeID) *Gate {
 		win:     newWindow(len(e.drvs)),
 		sendSeq: make(map[Tag]SeqNum),
 		flows:   make(map[Tag]*rxFlow),
+		credits: e.opts.Credits,
 	}
 	e.gates[peer] = g
 	e.gateOrder = append(e.gateOrder, g)
@@ -277,11 +307,26 @@ func (e *Engine) traceEvent(kind trace.Kind, peer simnet.NodeID, rail int, tag T
 func (e *Engine) submit(pw *packet) {
 	pw.submittedAt = e.world.Now()
 	pw.gate.win.push(pw)
+	if pw.driver == AnyDriver {
+		e.pendingCommon++
+	} else {
+		e.pendingPinned[pw.driver]++
+	}
+	if pw.kind == kindData && e.opts.Credits > 0 {
+		pw.gate.dataFIFO = append(pw.gate.dataFIFO, pw)
+	}
 	e.stats.Submitted++
 	e.traceEvent(trace.Submit, pw.gate.peer, -1, pw.tag, pw.payloadLen(), 0, pw.kind.String())
+	e.kick(pw.gate)
+}
+
+// kick offers the (possibly changed) backlog to the scheduler: idle
+// rails pump, the flush mode checks the gate's threshold, anticipation
+// pre-stages busy rails. Shared by submit and credit replenishment.
+func (e *Engine) kick(g *Gate) {
 	e.pumpAll()
 	if e.opts.FlushBacklog > 0 {
-		e.flush(pw.gate)
+		e.flush(g)
 	}
 	if e.opts.Anticipate {
 		for i := range e.drvs {
@@ -325,7 +370,7 @@ func (e *Engine) elect(drv int) (*Gate, *output) {
 // feeds the rail. The paper's just-in-time property comes from being
 // driven by NIC-idle events rather than by the application.
 func (e *Engine) pump(drv int) {
-	if e.feeding[drv] || !e.drvs[drv].Poll() {
+	if e.feeding[drv] > 0 || !e.drvs[drv].Poll() {
 		return
 	}
 	if st := e.staged[drv]; st != nil {
@@ -333,13 +378,16 @@ func (e *Engine) pump(drv int) {
 		// submit as soon as its preparation has finished (usually
 		// immediately — the election cost hid behind the transmission).
 		e.staged[drv] = nil
-		e.feeding[drv] = true
+		e.feeding[drv]++
 		delay := st.readyAt - e.world.Now()
 		if delay < 0 {
 			delay = 0
 		}
+		if end := e.world.Now() + delay; end > e.railFreeAt[drv] {
+			e.railFreeAt[drv] = end
+		}
 		e.world.After(delay, func() {
-			e.feeding[drv] = false
+			e.feeding[drv]--
 			e.send(st.gate, drv, st.out)
 		})
 		return
@@ -361,7 +409,7 @@ type stagedOutput struct {
 // stage pre-elects an output for a busy rail so the next idle event can
 // be answered instantly (§3.2's second scheduling mode).
 func (e *Engine) stage(drv int) {
-	if !e.opts.Anticipate || e.staged[drv] != nil || e.feeding[drv] || e.drvs[drv].Poll() {
+	if !e.opts.Anticipate || e.staged[drv] != nil || e.feeding[drv] > 0 || e.drvs[drv].Poll() {
 		return
 	}
 	g, out := e.elect(drv)
@@ -412,6 +460,16 @@ func (e *Engine) prepare(g *Gate, drv int, caps drivers.Caps) {
 // window (they are now owned by the output).
 func (e *Engine) account(g *Gate, drv int, out *output) {
 	g.win.take(out.entries)
+	for _, pw := range out.entries {
+		if pw.driver == AnyDriver {
+			e.pendingCommon--
+		} else {
+			e.pendingPinned[pw.driver]--
+		}
+		if pw.kind == kindData && e.opts.Credits > 0 {
+			g.dropData(pw)
+		}
+	}
 
 	e.stats.OutputPackets++
 	e.stats.EntriesSent += len(out.entries)
@@ -433,6 +491,9 @@ func (e *Engine) account(g *Gate, drv int, out *output) {
 			e.stats.EagerBytes += int64(pw.payloadLen())
 		}
 		e.stats.PerDriverBytes[drv] += int64(pw.payloadLen())
+		if pw.kind == kindData && e.opts.Credits > 0 {
+			g.credits--
+		}
 	}
 	if hasData && hasCtrl {
 		e.stats.CtrlPiggybacked++
@@ -441,16 +502,27 @@ func (e *Engine) account(g *Gate, drv int, out *output) {
 }
 
 // feed claims the rail, charges the scheduling overhead, then hands the
-// encoded output to the driver.
+// encoded output to the driver. The claim is a counter and overhead
+// windows chain through railFreeAt: when flush elects several outputs
+// back-to-back, each pays its full per-packet overhead after the
+// previous one, and pump stays out until every claimed output has been
+// handed over — outputs are serialized per rail.
 func (e *Engine) feed(g *Gate, drv int, out *output) {
 	e.account(g, drv, out)
-	e.feeding[drv] = true
+	e.feeding[drv]++
+	now := e.world.Now()
+	start := now
+	if e.railFreeAt[drv] > start {
+		start = e.railFreeAt[drv]
+	}
+	done := start + e.opts.ScheduleOverhead
+	e.railFreeAt[drv] = done
 	send := func() {
-		e.feeding[drv] = false
+		e.feeding[drv]--
 		e.send(g, drv, out)
 	}
-	if e.opts.ScheduleOverhead > 0 {
-		e.world.After(e.opts.ScheduleOverhead, send)
+	if done > now {
+		e.world.After(done-now, send)
 	} else {
 		send()
 	}
@@ -466,9 +538,15 @@ func (e *Engine) send(g *Gate, drv int, out *output) {
 	for _, pw := range entries {
 		payload += pw.payloadLen()
 	}
+	// The sampler sees the wire footprint — entry headers included,
+	// notably the per-chunk headers of eager rendezvous bodies — because
+	// that is what the measured duration covers; feeding it payload bytes
+	// would bias the functional-bandwidth estimate low exactly on the
+	// aggregation-heavy trains the adaptive strategy watches.
+	wire := out.wireSize()
 	t0 := e.world.Now()
 	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {
-		e.samplers[drv].observe(payload, e.world.Now()-t0)
+		e.samplers[drv].observe(wire, e.world.Now()-t0)
 		e.notifyComplete(drv, g.peer, payload, len(entries), e.world.Now()-t0)
 		for _, pw := range entries {
 			if pw.onSent != nil {

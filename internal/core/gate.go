@@ -21,6 +21,27 @@ type Gate struct {
 	flows      map[Tag]*rxFlow
 	posted     []*RecvRequest
 	unexpected []*inEntry
+
+	// credit-based flow control (Options.Credits > 0). credits is the
+	// sender-side budget: eager landing credits left at the peer.
+	// creditOwed is the receiver-side tally of consumed wrappers whose
+	// credits have not been replenished yet. dataFIFO holds the unsent
+	// data wrappers in submission order: the credit window is its first
+	// `credits` entries gate-wide, so the oldest unsent wrapper is
+	// always eligible and a later wrapper (on another rail, or elected
+	// past the head by a strategy) can never take the last credit and
+	// strand the flow head — the receiver would hold the later wrapper
+	// in its resequencing buffer forever, a flow-control deadlock.
+	credits    int
+	creditOwed int
+	// dataFIFO[dataHead:] is the live queue; the dead prefix is
+	// compacted away once it outgrows the tail (see dropData).
+	dataFIFO []*packet
+	dataHead int
+
+	// protoErrs counts receive-path protocol anomalies attributed to
+	// this gate (see Engine.protoErr).
+	protoErrs int
 }
 
 // Peer returns the remote node the gate connects to.
@@ -221,6 +242,36 @@ func (g *Gate) Recv(p *sim.Proc, tag Tag, buf []byte) (int, error) {
 	return req.N(), nil
 }
 
+// dataWindow is the live credit-eligibility FIFO, oldest unsent data
+// wrapper first.
+func (g *Gate) dataWindow() []*packet { return g.dataFIFO[g.dataHead:] }
+
+// dropData removes a wrapper from the credit-eligibility FIFO (it was
+// sent, or converted to a credit-exempt rendezvous request). Elections
+// prefer the FIFO head, so the common case advances the head offset in
+// O(1); mid-queue removals (rendezvous conversion, an out-of-order
+// election) shift the tail.
+func (g *Gate) dropData(pw *packet) {
+	for i := g.dataHead; i < len(g.dataFIFO); i++ {
+		if g.dataFIFO[i] != pw {
+			continue
+		}
+		if i == g.dataHead {
+			g.dataFIFO[i] = nil
+			g.dataHead++
+			if g.dataHead*2 >= len(g.dataFIFO) {
+				g.dataFIFO = append(g.dataFIFO[:0], g.dataFIFO[g.dataHead:]...)
+				g.dataHead = 0
+			}
+		} else {
+			copy(g.dataFIFO[i:], g.dataFIFO[i+1:])
+			g.dataFIFO[len(g.dataFIFO)-1] = nil
+			g.dataFIFO = g.dataFIFO[:len(g.dataFIFO)-1]
+		}
+		return
+	}
+}
+
 // nextSeq assigns the next sender-side sequence number of a flow.
 func (g *Gate) nextSeq(tag Tag) SeqNum {
 	s := g.sendSeq[tag]
@@ -250,3 +301,26 @@ func (g *Gate) PendingUnexpected() int { return len(g.unexpected) }
 
 // PendingPosted reports how many posted receives await a match.
 func (g *Gate) PendingPosted() int { return len(g.posted) }
+
+// PendingHeld reports how many wrappers wait in the gate's resequencing
+// buffers across all flows (diagnostics).
+func (g *Gate) PendingHeld() int {
+	n := 0
+	for _, f := range g.flows {
+		n += len(f.held)
+	}
+	return n
+}
+
+// Credits reports the remaining eager landing credits at the peer, or
+// -1 when flow control is disabled (Options.Credits == 0).
+func (g *Gate) Credits() int {
+	if g.eng.opts.Credits == 0 {
+		return -1
+	}
+	return g.credits
+}
+
+// ProtocolErrors reports how many receive-path protocol anomalies were
+// counted against this gate instead of crashing the node.
+func (g *Gate) ProtocolErrors() int { return g.protoErrs }

@@ -33,6 +33,10 @@ type packet struct {
 	// and clears it on pick. Stale or duplicated picks mismatch without
 	// needing a membership set.
 	gen uint64
+	// creditStamp marks the wrapper as inside the credit-eligibility
+	// window of the current scan (see Gate.scanEligible), the same
+	// generation trick as gen.
+	creditStamp uint64
 
 	submittedAt sim.Time
 	// onSent fires when the NIC finishes the physical packet carrying
@@ -63,8 +67,10 @@ func (pw *packet) segCount() int {
 }
 
 // ctrl reports whether the wrapper is protocol control (rendezvous
-// handshake) rather than application data.
-func (pw *packet) ctrl() bool { return pw.kind == kindRTS || pw.kind == kindCTS || pw.kind == kindAck }
+// handshake, acks, credit replenishment) rather than application data.
+func (pw *packet) ctrl() bool {
+	return pw.kind == kindRTS || pw.kind == kindCTS || pw.kind == kindAck || pw.kind == kindCredit
+}
 
 // prio reports whether the optimizer should favor early delivery.
 func (pw *packet) prio() bool { return pw.flags&FlagPriority != 0 || pw.ctrl() }

@@ -16,6 +16,13 @@ import (
 // answers with a CTS, and the sender streams the body: zero-copy RDMA on
 // capable rails, eager chunk entries into the registered landing buffer
 // otherwise, possibly split across several rails by the strategy.
+//
+// The grant is bounded twice: its size is clamped to the posted landing
+// capacity (the sender streams only what the receiver can place; the
+// receive completes with ErrTruncated without the excess ever crossing
+// the wire), and Options.MaxGrants caps how many granted transactions
+// may be in flight at once — further matched RTSes wait in FIFO order
+// with their CTS deferred until an active transaction retires.
 
 // rdvSend is the sender-side state of one rendezvous transaction. The
 // body is an iovec: a vector send streams straight out of its scattered
@@ -40,8 +47,17 @@ type rdvKey struct {
 // rdvRecv is the receiver-side state of one rendezvous transaction.
 type rdvRecv struct {
 	req       *rdvRecvReq
-	remaining int
-	total     int
+	remaining int // granted bytes not yet landed
+	granted   int // bytes the CTS allowed (clamped to the landing area)
+	total     int // full body size the RTS announced
+}
+
+// pendingGrant is a matched rendezvous request waiting for a grant slot
+// (Options.MaxGrants).
+type pendingGrant struct {
+	g *Gate
+	r *RecvRequest
+	h header
 }
 
 // rdvRecvReq narrows what the body path needs from a receive request.
@@ -88,37 +104,101 @@ func (e *Engine) convertToRTS(pw *packet) *packet {
 	if !pw.gate.win.replace(pw, rts) {
 		panic("core: rendezvous conversion of a wrapper not in the window")
 	}
+	if e.opts.Credits > 0 {
+		pw.gate.dropData(pw) // rendezvous traffic is credit-exempt
+	}
 	e.stats.RdvStarted++
 	e.traceEvent(trace.RdvStart, pw.gate.peer, -1, pw.tag, size, 0, "")
 	return rts
 }
 
-// acceptRdv runs when an RTS matches a posted receive: record the
-// transaction and grant it.
+// acceptRdv runs when an RTS matches a posted receive: grant it, or park
+// it behind the MaxGrants cap.
 func (e *Engine) acceptRdv(g *Gate, r *RecvRequest, h header) {
 	key := rdvKey{src: g.peer, id: h.aux}
-	if _, dup := e.rdvRecv[key]; dup {
-		panic(fmt.Sprintf("core: duplicate rendezvous %v", key))
+	_, dup := e.rdvRecv[key]
+	if !dup {
+		// The id may also be waiting for a grant slot: granting it twice
+		// later would overwrite the live transaction.
+		for _, pg := range e.rdvWait {
+			if pg.g.peer == key.src && pg.h.aux == key.id {
+				dup = true
+				break
+			}
+		}
 	}
-	e.rdvRecv[key] = &rdvRecv{req: r, remaining: int(h.length), total: int(h.length)}
-	e.traceEvent(trace.RdvGrant, g.peer, -1, h.tag, int(h.length), 0, "")
-	g.pushCtrl(kindCTS, h.tag, h.length, h.aux)
+	if dup {
+		e.protoErr(g, fmt.Sprintf("duplicate rendezvous %v", key))
+		r.complete(fmt.Errorf("%w: duplicate rendezvous id %d from node %d", ErrProtocol, h.aux, g.peer))
+		return
+	}
+	if e.opts.MaxGrants > 0 && len(e.rdvRecv) >= e.opts.MaxGrants {
+		e.rdvWait = append(e.rdvWait, pendingGrant{g: g, r: r, h: h})
+		e.stats.RdvDeferred++
+		return
+	}
+	e.grantRdv(g, r, h)
 }
 
-// onCTS runs on the original sender when the grant arrives: plan the body
-// over the rails and stream it.
-func (e *Engine) onCTS(h header) {
+// grantRdv sends the CTS for a matched rendezvous request, clamped to
+// the posted landing capacity: the sender streams only what the receiver
+// can place, and a short landing area completes with ErrTruncated
+// without the excess ever leaving the sender.
+func (e *Engine) grantRdv(g *Gate, r *RecvRequest, h header) {
+	grant := int(h.length)
+	if room := r.iov.total(); grant > room {
+		grant = room
+		e.stats.RdvTruncated++
+	}
+	e.traceEvent(trace.RdvGrant, g.peer, -1, h.tag, grant, 0, "")
+	if grant == 0 {
+		// Nothing can land. The zero-byte CTS still goes out so the
+		// sender retires its transaction state.
+		g.pushCtrl(kindCTS, h.tag, 0, h.aux)
+		r.n = 0
+		var err error
+		if h.length > 0 {
+			err = ErrTruncated
+		}
+		r.complete(err)
+		return
+	}
+	key := rdvKey{src: g.peer, id: h.aux}
+	e.rdvRecv[key] = &rdvRecv{req: r, remaining: grant, granted: grant, total: int(h.length)}
+	g.pushCtrl(kindCTS, h.tag, uint32(grant), h.aux)
+}
+
+// releaseGrants hands freed grant slots to deferred rendezvous requests
+// in arrival order.
+func (e *Engine) releaseGrants() {
+	for len(e.rdvWait) > 0 && (e.opts.MaxGrants == 0 || len(e.rdvRecv) < e.opts.MaxGrants) {
+		pg := e.rdvWait[0]
+		e.rdvWait[0] = pendingGrant{}
+		e.rdvWait = e.rdvWait[1:]
+		e.grantRdv(pg.g, pg.r, pg.h)
+	}
+}
+
+// onCTS runs on the original sender when the grant arrives: plan the
+// granted span over the rails and stream it.
+func (e *Engine) onCTS(g *Gate, h header) {
 	rs, ok := e.rdvSend[h.aux]
 	if !ok {
-		panic(fmt.Sprintf("core: CTS for unknown rendezvous %d", h.aux))
+		e.protoErr(g, fmt.Sprintf("CTS for unknown rendezvous %d", h.aux))
+		return
 	}
-	e.startBody(rs)
+	e.startBody(rs, int(h.length))
 }
 
-// startBody distributes the body per the strategy's plan and arranges
-// completion accounting.
-func (e *Engine) startBody(rs *rdvSend) {
+// startBody distributes the granted bytes per the strategy's plan and
+// arranges completion accounting. granted may be smaller than the body
+// (the receiver clamped the CTS to its landing area); the excess never
+// leaves the sender.
+func (e *Engine) startBody(rs *rdvSend, granted int) {
 	size := rs.body.total()
+	if granted < size {
+		size = granted
+	}
 	plan := e.planBody(size)
 
 	type chunk struct {
@@ -161,7 +241,8 @@ func (e *Engine) startBody(rs *rdvSend) {
 		}
 	}
 	if len(chunks) == 0 {
-		// Zero-length body: nothing to stream, retire the wrapper.
+		// Zero-length (or zero-granted) body: nothing to stream, retire
+		// the wrapper.
 		rs.req.doneOne()
 		e.stats.RdvCompleted++
 		delete(e.rdvSend, rs.id)
@@ -229,23 +310,25 @@ func (e *Engine) onBody(src simnet.NodeID, id uint32, offset int, data []byte) {
 	key := rdvKey{src: src, id: id}
 	rr, ok := e.rdvRecv[key]
 	if !ok {
-		panic(fmt.Sprintf("core: body fragment for unknown rendezvous %v", key))
+		e.protoErr(e.Gate(src), fmt.Sprintf("body fragment for unknown rendezvous %v", key))
+		return
 	}
 	r := rr.req
 	r.iov.copyAt(offset, data)
 	rr.remaining -= len(data)
 	if rr.remaining < 0 {
-		panic(fmt.Sprintf("core: rendezvous %v over-delivered", key))
+		e.protoErr(e.Gate(src), fmt.Sprintf("rendezvous %v over-delivered", key))
+		rr.remaining = 0
 	}
 	e.traceEvent(trace.RdvBody, src, -1, r.tag, len(data), 0, "")
 	if rr.remaining == 0 {
 		delete(e.rdvRecv, key)
 		var err error
-		r.n = rr.total
-		if room := r.iov.total(); rr.total > room {
-			r.n = room
+		r.n = rr.granted
+		if rr.total > rr.granted {
 			err = ErrTruncated
 		}
 		r.complete(err)
+		e.releaseGrants()
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"nmad/internal/sim"
@@ -12,6 +13,17 @@ import (
 // split back into wrappers, resequenced per flow (the optimizer may have
 // sent them out of order or over different rails), and matched against
 // posted receives — or parked on the unexpected queue.
+//
+// Protocol anomalies on this path — corrupt trains, duplicate wrappers,
+// unknown rendezvous or ack ids — are counted per gate and dropped
+// rather than crashing the node: one misbehaving or corrupted peer must
+// never take the whole engine down (see Engine.protoErr).
+
+// ErrProtocol reports a receive-path protocol anomaly surfaced through a
+// request (for example a duplicate rendezvous id consuming a posted
+// receive). Anomaly counts are in Stats.ProtocolErrors and per gate in
+// Gate.ProtocolErrors.
+var ErrProtocol = errors.New("core: protocol anomaly")
 
 // rxFlow is the resequencing state of one (gate, tag) flow.
 type rxFlow struct {
@@ -36,6 +48,15 @@ func (g *Gate) flow(tag Tag) *rxFlow {
 	return f
 }
 
+// protoErr counts one receive-path protocol anomaly against a gate
+// instead of panicking: the engine stays up, the event is visible in
+// Stats.ProtocolErrors, Gate.ProtocolErrors and the trace.
+func (e *Engine) protoErr(g *Gate, note string) {
+	g.protoErrs++
+	e.stats.ProtocolErrors++
+	e.traceEvent(trace.ProtoError, g.peer, -1, 0, 0, 0, note)
+}
+
 // onDelivery is the engine's receive entry point, bound to every driver
 // at Attach time.
 func (e *Engine) onDelivery(drv int, d simnet.Delivery) {
@@ -51,7 +72,9 @@ func (e *Engine) onDelivery(drv int, d simnet.Delivery) {
 		return nil
 	})
 	if err != nil {
-		panic(fmt.Sprintf("core: corrupt packet train from node %d on rail %d: %v", d.Src, drv, err))
+		// Entries decoded before the corruption were dispatched; the
+		// malformed tail is dropped and counted.
+		e.protoErr(e.Gate(d.Src), fmt.Sprintf("corrupt packet train on rail %d: %v", drv, err))
 	}
 }
 
@@ -61,11 +84,13 @@ func (e *Engine) dispatch(src simnet.NodeID, h header, payload []byte) {
 	g := e.Gate(src)
 	switch h.kind {
 	case kindCTS:
-		e.onCTS(h)
+		e.onCTS(g, h)
 	case kindChunk:
 		e.onBody(src, h.aux, int(uint32(h.seq)), payload)
 	case kindAck:
-		e.onAck(h.aux)
+		e.onAck(g, h.aux)
+	case kindCredit:
+		e.onCredit(g, int(h.length))
 	case kindData, kindRTS:
 		if h.flags&FlagUnordered != 0 {
 			e.deliver(g, h, payload)
@@ -86,13 +111,31 @@ func (e *Engine) dispatch(src simnet.NodeID, h header, payload []byte) {
 				f.next++
 			}
 		case h.seq > f.next:
+			if _, dup := f.held[h.seq]; dup {
+				// Keep the first copy; the duplicate's credit must not
+				// leak (only one copy will ever be consumed).
+				e.protoErr(g, fmt.Sprintf("duplicate held wrapper (tag %#x, seq %d)", h.tag, h.seq))
+				if h.kind == kindData {
+					e.returnCredit(g)
+				}
+				return
+			}
 			f.held[h.seq] = &inEntry{h: h, payload: payload, at: e.world.Now()}
 			e.stats.Reordered++
+			if len(f.held) > e.stats.PeakHeld {
+				e.stats.PeakHeld = len(f.held)
+			}
 		default:
-			panic(fmt.Sprintf("core: duplicate wrapper (gate %d, tag %#x, seq %d)", src, h.tag, h.seq))
+			e.protoErr(g, fmt.Sprintf("duplicate wrapper (tag %#x, seq %d)", h.tag, h.seq))
+			if h.kind == kindData {
+				// The sender spent a landing credit on this wrapper and
+				// it will never be consumed; dropping it must not leak
+				// the credit into a shrinking budget.
+				e.returnCredit(g)
+			}
 		}
 	default:
-		panic("core: dispatch of unknown kind " + h.kind.String())
+		e.protoErr(g, "dispatch of unknown kind "+h.kind.String())
 	}
 }
 
@@ -108,6 +151,9 @@ func (e *Engine) deliver(g *Gate, h header, payload []byte) {
 	}
 	g.unexpected = append(g.unexpected, &inEntry{h: h, payload: payload, at: e.world.Now()})
 	e.stats.Unexpected++
+	if len(g.unexpected) > e.stats.PeakUnexpected {
+		e.stats.PeakUnexpected = len(g.unexpected)
+	}
 	e.traceEvent(trace.Unexpected, g.peer, -1, h.tag, len(payload), 0, h.kind.String())
 	e.cond.Broadcast() // wake probers
 }
@@ -127,7 +173,7 @@ func (g *Gate) matchUnexpected(r *RecvRequest) bool {
 
 // consume finishes the match: eager payloads are copied into the user
 // buffer (the memcpy is charged to the host), rendezvous requests are
-// granted.
+// granted. Consuming an eager data wrapper frees its landing credit.
 func (e *Engine) consume(g *Gate, r *RecvRequest, h header, payload []byte) {
 	r.matched = true
 	r.tag = h.tag
@@ -149,19 +195,63 @@ func (e *Engine) consume(g *Gate, r *RecvRequest, h header, payload []byte) {
 			// with outbound data.
 			g.pushCtrl(kindAck, h.tag, 0, h.aux)
 		}
+		e.returnCredit(g)
 		e.world.After(e.node.CopyCost(n), func() { r.complete(err) })
 	case kindRTS:
 		e.acceptRdv(g, r, h)
 	default:
-		panic("core: consume of non-matchable kind " + h.kind.String())
+		e.protoErr(g, "consume of non-matchable kind "+h.kind.String())
+		r.complete(fmt.Errorf("%w: matched a %s entry", ErrProtocol, h.kind))
 	}
 }
 
+// returnCredit tallies one consumed eager wrapper and, once a batch has
+// accumulated, replenishes the sender with a credit control entry. The
+// entry rides the window like the rendezvous handshake: it aggregates
+// with outbound data when there is any and travels alone otherwise.
+func (e *Engine) returnCredit(g *Gate) {
+	if e.opts.Credits == 0 {
+		return
+	}
+	g.creditOwed++
+	if g.creditOwed < creditBatch(e.opts.Credits) {
+		return
+	}
+	n := g.creditOwed
+	g.creditOwed = 0
+	e.stats.CreditsSent++
+	g.pushCtrl(kindCredit, 0, uint32(n), 0)
+}
+
+// creditBatch is how many consumed wrappers accumulate before a
+// replenishment entry goes out: batching amortizes the control traffic
+// while staying small enough (at most a quarter of the budget) that the
+// sender never starves waiting for it.
+func creditBatch(budget int) int {
+	b := budget / 4
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// onCredit replenishes the sender-side budget and offers the newly
+// eligible backlog to the rails.
+func (e *Engine) onCredit(g *Gate, n int) {
+	if e.opts.Credits == 0 {
+		e.protoErr(g, "credit entry with flow control disabled")
+		return
+	}
+	g.credits += n
+	e.kick(g)
+}
+
 // onAck retires the synchronous-completion unit of a send.
-func (e *Engine) onAck(id uint32) {
+func (e *Engine) onAck(g *Gate, id uint32) {
 	req, ok := e.syncAcks[id]
 	if !ok {
-		panic(fmt.Sprintf("core: ack for unknown synchronous send %d", id))
+		e.protoErr(g, fmt.Sprintf("ack for unknown synchronous send %d", id))
+		return
 	}
 	delete(e.syncAcks, id)
 	req.doneOne()

@@ -35,6 +35,28 @@ type Stats struct {
 	// Unexpected counts wrappers that arrived before a matching receive
 	// was posted.
 	Unexpected int
+	// PeakUnexpected is the largest unexpected queue any single gate
+	// reached, and PeakHeld the largest resequencing buffer any single
+	// flow reached. Under credit flow control (Options.Credits) eager
+	// data traffic in both is bounded by the per-gate credit budget;
+	// rendezvous requests are header-only entries whose body memory is
+	// bounded separately by Options.MaxGrants.
+	PeakUnexpected int
+	PeakHeld       int
+	// CreditsSent counts credit-replenishment control entries submitted
+	// by the receive side (they aggregate with outbound traffic like any
+	// control wrapper).
+	CreditsSent int
+	// RdvDeferred counts inbound rendezvous grants deferred by
+	// Options.MaxGrants; RdvTruncated counts grants clamped to a smaller
+	// posted landing area.
+	RdvDeferred  int
+	RdvTruncated int
+	// ProtocolErrors counts receive-path protocol anomalies (corrupt
+	// trains, duplicate wrappers, unknown rendezvous ids, ...) that were
+	// dropped and counted instead of crashing the node. Per-gate
+	// attribution is available through Gate.ProtocolErrors.
+	ProtocolErrors int
 }
 
 // AggregationRatio is entries per output packet; 1.0 means the optimizer

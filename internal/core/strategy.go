@@ -23,8 +23,46 @@ func (v windowView) Peer() int { return int(v.g.peer) }
 
 func (v windowView) Pending() int { return v.g.win.pending(v.drv) }
 
+func (v windowView) Credits() int { return v.g.Credits() }
+
 func (v windowView) Scan(visit func(sched.Wrapper) bool) {
-	v.g.win.scan(v.drv, func(pw *packet) bool { return visit(wrapperView(pw)) })
+	v.g.scanEligible(v.drv, func(pw *packet) bool { return visit(wrapperView(pw)) })
+}
+
+// scanEligible visits the wrappers a strategy may elect for one rail:
+// the raw window scan with the flow-control eligibility filter applied.
+// When the peer's eager landing credits run low, only the first
+// `credits` unsent data wrappers in gate-wide submission order are
+// visible — the rest stay in the collect layer until a credit entry
+// replenishes the gate. Budgeting in submission order (not per-rail
+// view order) keeps the oldest wrapper of every flow inside the credit
+// window, which is what makes exhaustion a stall instead of a deadlock.
+// Control entries (rendezvous handshake, acks, credits) and pre-granted
+// body chunks always pass.
+func (g *Gate) scanEligible(drv int, visit func(pw *packet) bool) {
+	queue := g.dataWindow()
+	if g.eng.opts.Credits == 0 || g.credits >= len(queue) {
+		// Flow control off, or the budget covers the whole backlog:
+		// nothing to hide, skip the filter entirely.
+		g.win.scan(drv, visit)
+		return
+	}
+	// Stamp the credit window — the first `credits` FIFO entries — with
+	// a fresh generation so the scan filters with one comparison per
+	// wrapper: O(credits + window), not a membership probe per entry.
+	e := g.eng
+	e.creditGen++
+	if g.credits > 0 {
+		for _, pw := range queue[:g.credits] {
+			pw.creditStamp = e.creditGen
+		}
+	}
+	g.win.scan(drv, func(pw *packet) bool {
+		if pw.kind == kindData && pw.creditStamp != e.creditGen {
+			return true // beyond the credit window: invisible
+		}
+		return visit(pw)
+	})
 }
 
 // wrapperView builds the SPI descriptor of one wrapper: the per-packet
@@ -54,13 +92,17 @@ func wrapperView(pw *packet) sched.Wrapper {
 }
 
 // railInfo combines a rail's nominal capability report with the sampled
-// functional bandwidth — the full RailInfo the SPI promises.
+// functional bandwidth and the current backlog — the full RailInfo the
+// SPI promises. The backlog comes from the engine's incremental
+// counters: railInfo runs on the NIC-idle hot path, once per gate per
+// pump sweep.
 func (e *Engine) railInfo(drv int) sched.RailInfo {
 	return sched.RailInfo{
 		Index:   drv,
 		Name:    e.drvs[drv].Name(),
 		Caps:    e.drvs[drv].Caps(),
 		Sampled: e.samplers[drv].estimate(),
+		Backlog: e.pendingPinned[drv] + e.pendingCommon,
 	}
 }
 
@@ -88,9 +130,12 @@ func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
 	// with a fresh generation; a valid pick carries the stamp, which is
 	// cleared on pick so duplicates mismatch. Picks from another engine
 	// (a strategy value shared between engines) are rejected explicitly
-	// since their stamps are not ours.
+	// since their stamps are not ours. Only flow-control-eligible
+	// wrappers are stamped — a strategy that somehow picks a wrapper
+	// beyond the peer's credit budget loses the pick, not the credit
+	// invariant.
 	e.electGen++
-	g.win.scan(drv, func(pw *packet) bool {
+	g.scanEligible(drv, func(pw *packet) bool {
 		pw.gen = e.electGen
 		return true
 	})

@@ -39,11 +39,12 @@ const (
 type entryKind uint8
 
 const (
-	kindData  entryKind = 1 + iota // eager payload
-	kindRTS                        // rendezvous request (header only)
-	kindCTS                        // rendezvous grant (header only)
-	kindChunk                      // rendezvous body fragment on a non-RDMA rail
-	kindAck                        // synchronous-send acknowledgement (header only)
+	kindData   entryKind = 1 + iota // eager payload
+	kindRTS                         // rendezvous request (header only)
+	kindCTS                         // rendezvous grant (header only)
+	kindChunk                       // rendezvous body fragment on a non-RDMA rail
+	kindAck                         // synchronous-send acknowledgement (header only)
+	kindCredit                      // receive-flow-control replenishment (header only)
 )
 
 func (k entryKind) String() string {
@@ -58,6 +59,8 @@ func (k entryKind) String() string {
 		return "chunk"
 	case kindAck:
 		return "ack"
+	case kindCredit:
+		return "credit"
 	default:
 		return fmt.Sprintf("entryKind(%d)", uint8(k))
 	}
@@ -125,7 +128,7 @@ func decodeHeader(data []byte) (header, error) {
 		aux:    binary.LittleEndian.Uint32(data[20:24]),
 	}
 	switch h.kind {
-	case kindData, kindRTS, kindCTS, kindChunk, kindAck:
+	case kindData, kindRTS, kindCTS, kindChunk, kindAck, kindCredit:
 		return h, nil
 	default:
 		return header{}, fmt.Errorf("%w: unknown entry kind %d", ErrBadWire, data[1])

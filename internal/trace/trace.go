@@ -41,12 +41,16 @@ const (
 	RdvBody
 	// Complete: a request completed.
 	Complete
+	// ProtoError: a receive-path protocol anomaly was counted and
+	// dropped instead of crashing the node.
+	ProtoError
 	nKinds
 )
 
 var kindNames = [nKinds]string{
 	"submit", "elect", "depart", "arrive", "deliver",
 	"unexpected", "rdv-start", "rdv-grant", "rdv-body", "complete",
+	"proto-error",
 }
 
 func (k Kind) String() string {

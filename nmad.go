@@ -127,6 +127,16 @@ var (
 	ByteType   = madmpi.Byte
 )
 
+// Completion errors surfaced through Request.Err / Wait.
+var (
+	// ErrTruncated: the message (or granted rendezvous span) exceeded
+	// the posted landing area; the prefix was delivered.
+	ErrTruncated = core.ErrTruncated
+	// ErrProtocol: a receive-path protocol anomaly was attributed to the
+	// request (see Stats.ProtocolErrors / Gate.ProtocolErrors).
+	ErrProtocol = core.ErrProtocol
+)
+
 // AnyTag matches any tag of a communicator (MPI_ANY_TAG).
 const AnyTag = madmpi.AnyTag
 

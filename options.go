@@ -130,6 +130,28 @@ func WithFlushBacklog(n int) EngineOption {
 	return func(c *engineConfig) { c.FlushBacklog = n }
 }
 
+// WithCredits enables credit-based receive flow control: every gate
+// starts with n eager landing credits, each eager data wrapper sent
+// consumes one, and the receiver returns credits as it consumes the
+// wrappers (replenishment aggregates with outbound traffic like the
+// rendezvous handshake). While a peer's credits are exhausted the
+// sender's data wrappers wait in the collect layer, invisible to the
+// strategies, so an overloaded receiver's queues stay bounded by the
+// budget instead of growing without limit. Configure every engine of a
+// cluster with the same budget.
+func WithCredits(n int) EngineOption {
+	return func(c *engineConfig) { c.Credits = n }
+}
+
+// WithMaxGrants caps the concurrent inbound rendezvous transactions a
+// node grants: further matched rendezvous requests wait in FIFO order
+// with their CTS deferred until an active transaction retires, bounding
+// the registered landing traffic a flood of large senders can force on
+// one receiver.
+func WithMaxGrants(n int) EngineOption {
+	return func(c *engineConfig) { c.MaxGrants = n }
+}
+
 // Per-submission scheduling options, accepted by Gate.Isend, Gate.Isendv,
 // Gate.Issend and Gate.BeginPack.
 type SendOption = core.SendOption

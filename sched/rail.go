@@ -21,8 +21,15 @@ type RailInfo struct {
 	Caps Caps
 	// Sampled is the achieved bandwidth in bytes/second, estimated by
 	// the engine's EWMA sampler over live traffic; 0 while the sampler
-	// is still warming up.
+	// is still warming up. The estimate is fed the wire footprint of
+	// each transaction (entry headers included), matching what the
+	// measured duration covers.
 	Sampled float64
+	// Backlog is the number of wrappers currently awaiting election
+	// that this rail could send, summed over every gate — the same
+	// backlog signal that drives the engine's flush scheduling mode,
+	// made visible so strategies can react to queue build-up.
+	Backlog int
 }
 
 // Bandwidth is the figure strategies should plan with: the sampled

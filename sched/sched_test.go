@@ -14,6 +14,7 @@ type fakeWindow struct {
 
 func (f fakeWindow) Peer() int    { return f.peer }
 func (f fakeWindow) Pending() int { return len(f.ws) }
+func (f fakeWindow) Credits() int { return -1 }
 
 func (f fakeWindow) Scan(visit func(Wrapper) bool) {
 	for _, w := range f.ws {
@@ -252,6 +253,78 @@ func TestChainFallback(t *testing.T) {
 	plan = c2.(BodyPlanner).PlanBody([]RailInfo{fast, slow}, 4<<20)
 	if len(plan) != 2 {
 		t.Errorf("chain must delegate to split's planner, got %v", plan)
+	}
+}
+
+func TestAccumulateZeroThresholdStillAggregates(t *testing.T) {
+	// RdvThreshold 0 is legal (an eager-only rail). It must mean "no byte
+	// budget", not "no budget at all": the buggy version rejected every
+	// wrapper from FitsWithin and degenerated to one-wrapper packets
+	// through the progress fallback.
+	rail := testRail(16, 0, 1e9, 0)
+	var ws []Wrapper
+	for i := 0; i < 4; i++ {
+		w := mkw(128, 1, 0)
+		w.Tag = uint64(i + 1)
+		ws = append(ws, w)
+	}
+	ctrl := mkw(0, 0, Control)
+	ctrl.Tag = 9
+	ws = append(ws, ctrl)
+	for _, s := range []Strategy{aggregStrategy{}, newAdaptive()} {
+		el := s.Elect(fakeWindow{ws: ws}, rail)
+		if el.Len() != len(ws) {
+			t.Errorf("%s elected %d of %d wrappers on a RdvThreshold=0 rail", s.Name(), el.Len(), len(ws))
+		}
+	}
+	// The semantics live in Fits/FitsWithin, so prio's urgent pass (and
+	// any custom strategy budgeting with Fits) works on threshold-0
+	// rails too.
+	if !new(Election).Fits(ws[0], rail) {
+		t.Error("Fits must treat a zero byte budget as unlimited")
+	}
+	bulk := mkw(8<<10, 1, 0)
+	urgent := mkw(16, 1, Priority)
+	bulk.Tag, urgent.Tag = 1, 42
+	el := prioStrategy{}.Elect(fakeWindow{ws: []Wrapper{bulk, urgent}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 42 {
+		t.Errorf("prio on a RdvThreshold=0 rail elected %v, want the urgent wrapper alone", got)
+	}
+}
+
+func TestAdaptiveFloorsCollapsedBudget(t *testing.T) {
+	// A small threshold scaled by a collapsed bandwidth sample drops
+	// below one entry header; the floor keeps control entries and small
+	// data aggregable instead of forcing one-wrapper packets.
+	mkws := func() []Wrapper {
+		ctrl := mkw(0, 0, Control)
+		ctrl.Tag = 9
+		ws := []Wrapper{ctrl}
+		for i := 0; i < 3; i++ {
+			w := mkw(16, 1, 0)
+			w.Tag = uint64(i + 1)
+			ws = append(ws, w)
+		}
+		return ws
+	}
+	// Threshold 64 scaled to 16 (< one header): floored back to the
+	// rail's own cap, so a control entry still aggregates with data.
+	ws := mkws()
+	el := newAdaptive().Elect(fakeWindow{ws: ws}, testRail(16, 64, 1e9, 1e6))
+	if el.Len() < 2 {
+		t.Errorf("collapsed budget elected %d wrappers; the floored budget must keep small wrappers aggregable", el.Len())
+	}
+	// A roomier threshold floors at adaptiveMinBudget: everything fits.
+	el = newAdaptive().Elect(fakeWindow{ws: ws}, testRail(16, 512, 1e9, 1e6))
+	if el.Len() != len(ws) {
+		t.Errorf("512B-threshold rail elected %d of %d wrappers under the floored budget", el.Len(), len(ws))
+	}
+	// The floor must never inflate the budget past the rail's unscaled
+	// threshold: a healthy 100B rail keeps its 100B cap (one small data
+	// wrapper per train alongside control, not adaptiveMinBudget worth).
+	el = newAdaptive().Elect(fakeWindow{ws: mkws()}, testRail(16, 100, 1e9, 0))
+	if got := el.WireSize(); got > 100 {
+		t.Errorf("healthy 100B-threshold rail elected %dB of wire, exceeding the rail's aggregation cap", got)
 	}
 }
 

@@ -47,6 +47,14 @@ type railLog struct {
 // wrappers.
 const adaptiveMinFactor = 0.25
 
+// adaptiveMinBudget floors the scaled aggregation budget in bytes: a
+// small rendezvous threshold scaled down can drop below one entry
+// header, which would reject every wrapper from FitsWithin and
+// degenerate elections to one-wrapper packets. The floor never exceeds
+// the rail's own unscaled threshold, so adaptation shrinks budgets but
+// cannot inflate them past the aggregation cap the rail declares.
+const adaptiveMinBudget = 256
+
 // adaptiveCollapseFrac is the functional-bandwidth fraction of the best
 // rail below which a rail is dropped from body plans.
 const adaptiveCollapseFrac = 0.10
@@ -58,13 +66,25 @@ func newAdaptive() *adaptiveStrategy {
 func (s *adaptiveStrategy) Name() string { return "adaptive" }
 
 func (s *adaptiveStrategy) Elect(w Window, rail RailInfo) *Election {
+	// A zero threshold means the rail never switches to rendezvous:
+	// aggregation is unlimited (accumulate treats it so) and there is no
+	// byte budget to scale.
 	limit := rail.Caps.RdvThreshold
-	if nominal := rail.Caps.Bandwidth; rail.Sampled > 0 && rail.Sampled < nominal {
-		factor := rail.Sampled / nominal
-		if factor < adaptiveMinFactor {
-			factor = adaptiveMinFactor
+	if limit > 0 {
+		if nominal := rail.Caps.Bandwidth; rail.Sampled > 0 && rail.Sampled < nominal {
+			factor := rail.Sampled / nominal
+			if factor < adaptiveMinFactor {
+				factor = adaptiveMinFactor
+			}
+			limit = int(float64(limit) * factor)
 		}
-		limit = int(float64(limit) * factor)
+		floor := adaptiveMinBudget
+		if rail.Caps.RdvThreshold < floor {
+			floor = rail.Caps.RdvThreshold
+		}
+		if limit < floor {
+			limit = floor
+		}
 	}
 	return accumulate(w, rail, limit)
 }

@@ -27,7 +27,9 @@ func (aggregStrategy) Elect(w Window, rail RailInfo) *Election {
 // accumulate is the shared two-pass accumulation core: urgent wrappers
 // first, then data wrappers in order, scanning past misfits (the
 // reordering), all within the rail's gather capacity and the given byte
-// limit.
+// limit. A limit of zero (a profile may legally report RdvThreshold 0)
+// or less means unlimited — FitsWithin defines that semantics for every
+// strategy, built-in or custom.
 func accumulate(w Window, rail RailInfo, limit int) *Election {
 	maxSegs := rail.Caps.MaxSegments
 	el := new(Election)

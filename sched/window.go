@@ -57,10 +57,20 @@ func (w Wrapper) Urgent() bool { return w.Flags.Has(Priority | Control) }
 type Window interface {
 	// Peer is the destination node of every wrapper in this view.
 	Peer() int
-	// Pending is the number of wrappers visible in the view.
+	// Pending is the number of wrappers in the window this rail could
+	// send, including data wrappers currently held back by flow control
+	// (the gate's raw backlog).
 	Pending() int
-	// Scan visits the wrappers in submission order until visit returns
-	// false. The view is stable for the duration of one Elect call.
+	// Credits is the flow-control view: how many more eager data
+	// wrappers the peer can accept right now (its remaining landing
+	// credits), or -1 when flow control is disabled. Data wrappers
+	// beyond the budget are already hidden from Scan; Credits lets a
+	// strategy modulate its decisions as backpressure builds.
+	Credits() int
+	// Scan visits the electable wrappers in submission order until visit
+	// returns false. The view is stable for the duration of one Elect
+	// call. Data wrappers beyond the peer's credit budget are not
+	// visited (see Credits).
 	Scan(visit func(w Wrapper) bool)
 }
 
@@ -100,13 +110,16 @@ func (e *Election) Wrappers() []Wrapper { return e.entries }
 
 // Fits reports whether picking w would keep the train within the rail's
 // aggregation budget: the native gather capacity and the eager-protocol
-// limit (the rendezvous threshold, which also caps aggregation).
+// limit (the rendezvous threshold, which also caps aggregation). A rail
+// may legally report RdvThreshold 0 — it never switches to rendezvous —
+// which means no byte budget, not a zero-byte one.
 func (e *Election) Fits(w Wrapper, rail RailInfo) bool {
 	return e.FitsWithin(w, rail.Caps.MaxSegments, rail.Caps.RdvThreshold)
 }
 
 // FitsWithin is Fits against explicit segment and byte budgets, for
-// strategies that scale the aggregation limit themselves.
+// strategies that scale the aggregation limit themselves. A byte budget
+// of zero or less means unlimited.
 func (e *Election) FitsWithin(w Wrapper, maxSegs, maxBytes int) bool {
-	return e.segs+w.Segments <= maxSegs && e.bytes+w.WireSize <= maxBytes
+	return e.segs+w.Segments <= maxSegs && (maxBytes <= 0 || e.bytes+w.WireSize <= maxBytes)
 }

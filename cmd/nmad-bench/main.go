@@ -8,7 +8,8 @@
 //	nmad-bench -fig all           # everything (takes a minute)
 //	nmad-bench -fig 4a -format csv
 //	nmad-bench -fig incast,5.1 -json  # machine-readable, for BENCH_*.json trajectories
-//	nmad-bench -list
+//	nmad-bench -list              # figure ids with one-line descriptions
+//	nmad-bench -fig list          # same
 //
 // Every report is stamped with the strategy and engine options each
 // MAD-MPI series ran with. With -json and more than one figure the
@@ -17,6 +18,7 @@
 // Figure ids: 2a 2b 2c 2d (raw ping-pong), 5.1 (overhead summary),
 // 3a 3b 3c 3d (multi-segment ping-pong), 4a 4b (indexed datatype),
 // incast (N-to-1 overload under credit flow control),
+// allreduce (collective schedule engine vs the seed blocking tree),
 // ablation-strategies ablation-multirail ablation-overhead ablation-rdv
 // ablation-modes ablation-composite ablation-sampling.
 package main
@@ -31,18 +33,25 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "figure id(s, comma-separated) to regenerate, or 'all'")
+	fig := flag.String("fig", "", "figure id(s, comma-separated) to regenerate, 'all', or 'list'")
 	format := flag.String("format", "table", "output format: table, csv or json")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (same as -format json)")
-	list := flag.Bool("list", false, "list figure ids and exit")
+	list := flag.Bool("list", false, "list figure ids with descriptions and exit")
 	flag.Parse()
 	if *jsonOut {
 		*format = "json"
 	}
 
-	if *list {
-		for _, id := range nmad.BenchFigureIDs() {
-			fmt.Println(id)
+	if *list || *fig == "list" {
+		w := 0
+		infos := nmad.BenchFigures()
+		for _, info := range infos {
+			if len(info.ID) > w {
+				w = len(info.ID)
+			}
+		}
+		for _, info := range infos {
+			fmt.Printf("%-*s  %s\n", w, info.ID, info.Desc)
 		}
 		return
 	}

@@ -1,0 +1,159 @@
+// Command nmad-trend is the benchmark trend check: it compares two
+// BENCH_PR*.json trajectory files (as committed per PR and regenerated
+// by CI) and fails if any tracked figure regressed by more than the
+// threshold. All tracked metrics are lower-is-better (latencies,
+// completion times, queue high-water marks); figures without data
+// points (text-only tables like 5.1) and series or points present in
+// only one file are skipped, so adding figures never breaks the check.
+//
+// Usage:
+//
+//	nmad-trend old.json new.json              # explicit files
+//	nmad-trend                                # auto: two highest BENCH_PR<N>.json in .
+//	nmad-trend -threshold 1.1 old.json new.json
+//
+// Exit status 1 on regression, 2 on usage/parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"nmad"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 1.2, "fail when new/old exceeds this ratio (1.2 = 20% regression)")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	case 0:
+		var err error
+		oldPath, newPath, err = autoDiscover(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmad-trend: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: nmad-trend [-threshold 1.2] [old.json new.json]")
+		os.Exit(2)
+	}
+
+	oldFigs, err := loadFigures(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmad-trend: %s: %v\n", oldPath, err)
+		os.Exit(2)
+	}
+	newFigs, err := loadFigures(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nmad-trend: %s: %v\n", newPath, err)
+		os.Exit(2)
+	}
+
+	regressions, compared := compare(oldFigs, newFigs, *threshold)
+	fmt.Printf("nmad-trend: %s -> %s: %d points compared, %d regressions (threshold %.0f%%)\n",
+		oldPath, newPath, compared, len(regressions), (*threshold-1)*100)
+	for _, r := range regressions {
+		fmt.Println("  REGRESSION " + r)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+}
+
+// loadFigures reads a trajectory file holding either one figure object
+// or an array of them (nmad-bench -json emits both shapes).
+func loadFigures(path string) ([]nmad.BenchFigure, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var many []nmad.BenchFigure
+	if err := json.Unmarshal(data, &many); err == nil {
+		return many, nil
+	}
+	var one nmad.BenchFigure
+	if err := json.Unmarshal(data, &one); err != nil {
+		return nil, fmt.Errorf("neither a figure nor a figure array: %w", err)
+	}
+	return []nmad.BenchFigure{one}, nil
+}
+
+// compare walks every (figure, series label, x) present in both files
+// and reports the points whose metric grew beyond the threshold.
+func compare(oldFigs, newFigs []nmad.BenchFigure, threshold float64) (regressions []string, compared int) {
+	oldByID := map[string]nmad.BenchFigure{}
+	for _, f := range oldFigs {
+		oldByID[f.ID] = f
+	}
+	for _, nf := range newFigs {
+		of, ok := oldByID[nf.ID]
+		if !ok {
+			continue
+		}
+		oldSeries := map[string]map[int]float64{}
+		for _, s := range of.Series {
+			pts := map[int]float64{}
+			for _, pt := range s.Points {
+				pts[pt.X] = pt.Y
+			}
+			oldSeries[s.Label] = pts
+		}
+		for _, s := range nf.Series {
+			pts, ok := oldSeries[s.Label]
+			if !ok {
+				continue
+			}
+			for _, pt := range s.Points {
+				oldY, ok := pts[pt.X]
+				if !ok || oldY <= 0 {
+					continue
+				}
+				compared++
+				if ratio := pt.Y / oldY; ratio > threshold {
+					regressions = append(regressions, fmt.Sprintf(
+						"figure %s, %s @ x=%d: %.2f -> %.2f (%.0f%% worse)",
+						nf.ID, s.Label, pt.X, oldY, pt.Y, (ratio-1)*100))
+				}
+			}
+		}
+	}
+	return regressions, compared
+}
+
+// autoDiscover picks the two highest-numbered BENCH_PR<N>.json files in
+// dir: the previous trajectory point and the current one.
+func autoDiscover(dir string) (oldPath, newPath string, err error) {
+	re := regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+	type entry struct {
+		n    int
+		path string
+	}
+	var found []entry
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_PR*.json"))
+	if err != nil {
+		return "", "", err
+	}
+	for _, m := range matches {
+		sub := re.FindStringSubmatch(filepath.Base(m))
+		if sub == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(sub[1])
+		found = append(found, entry{n: n, path: m})
+	}
+	if len(found) < 2 {
+		return "", "", fmt.Errorf("need two BENCH_PR<N>.json files in %s, found %d", dir, len(found))
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].n < found[j].n })
+	return found[len(found)-2].path, found[len(found)-1].path, nil
+}

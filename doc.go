@@ -57,6 +57,35 @@
 //	e0, _ := cl.Engine(0, nmad.WithStrategy(myStrategy{}))
 //	_ = nmad.RegisterStrategy("mine", func() nmad.Strategy { return myStrategy{} })
 //
+// # Collectives and algorithm selection
+//
+// The MAD-MPI collectives (Barrier, Bcast, Gather, Scatter, Allgather,
+// Alltoall, Reduce, Allreduce) run on a collective schedule engine:
+// each call compiles into a DAG of nonblocking send/recv/compute steps
+// executed with request groups, so rounds and segments overlap and the
+// traffic flows through the optimization window like any other —
+// strategies aggregate segments of different rounds into one packet,
+// credits bound them, large segments go rendezvous. Algorithms are
+// pluggable via a registry mirroring RegisterStrategy: dissemination
+// barrier, binomial and segmented pipeline-chain bcast/reduce, tree and
+// segmented pipelined-ring (reduce-scatter + allgather) allreduce, ring
+// and gather-bcast allgather, linear and pairwise alltoall. Selection
+// is automatic by message size and communicator size; WithCollAlgo
+// pins one and WithCollSegment tunes the pipelining granularity:
+//
+//	m, _ := cl.MPI(0, nmad.WithCollAlgo(nmad.CollAllreduce, "ring"),
+//		nmad.WithCollSegment(8<<10))
+//	_ = nmad.RegisterCollAlgo(nmad.CollBcast, "mine", myBuilder)
+//
+// Collective buffers are validated (ErrCollBuffer instead of slice
+// panics: Gather's recvBuf must be exactly Size×len(sendBuf), and so
+// on), and the collective tag space is epoch-extended — when a
+// communicator's 2^22-collective window wraps, tags move to a fresh
+// lane instead of being reused, and genuine exhaustion (2^29
+// collectives) reports ErrCollTags. The "allreduce" bench figure
+// sweeps vector size × node count × algorithm against the seed's
+// blocking trees.
+//
 // # Flow control and overload
 //
 // Under many-to-one overload an unbounded receive queue is an
@@ -102,7 +131,8 @@
 //     resequencing receive path, the unified Request layer and the
 //     vector (iovec) path.
 //   - internal/madmpi: MAD-MPI — communicators, point-to-point,
-//     derived datatypes, a few collectives.
+//     derived datatypes, and the collective schedule engine with its
+//     pluggable algorithm registry.
 //   - internal/baseline: MPICH-like and OpenMPI-like comparators.
 //   - internal/bench: the harness regenerating every evaluation figure.
 //

@@ -36,9 +36,15 @@ func ProbeRail(p Profile) (name string, caps RailCaps, err error) {
 // evaluation (§5) plus the ablations, runnable by id.
 type BenchFigure = bench.Figure
 
+// BenchFigureInfo pairs a runnable figure id with its one-line
+// description, for discovery (nmad-bench -list).
+type BenchFigureInfo = bench.FigureInfo
+
 var (
 	// BenchFigureIDs lists every runnable figure id.
 	BenchFigureIDs = bench.FigureIDs
+	// BenchFigures lists every runnable figure with its description.
+	BenchFigures = bench.Figures
 	// BenchRun regenerates one figure.
 	BenchRun = bench.Run
 	// BenchFormatTable / BenchFormatCSV / BenchFormatJSON render a

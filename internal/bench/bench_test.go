@@ -198,7 +198,16 @@ func TestRunRegistry(t *testing.T) {
 	ids := FigureIDs()
 	want := []string{"2a", "2b", "2c", "2d", "3a", "3b", "3c", "3d", "4a", "4b", "5.1",
 		"ablation-composite", "ablation-modes", "ablation-multirail", "ablation-overhead",
-		"ablation-rdv", "ablation-sampling", "ablation-strategies", "incast"}
+		"ablation-rdv", "ablation-sampling", "ablation-strategies", "allreduce", "incast"}
+	infos := Figures()
+	if len(infos) != len(want) {
+		t.Fatalf("Figures() lists %d entries, want %d", len(infos), len(want))
+	}
+	for _, info := range infos {
+		if info.Desc == "" {
+			t.Errorf("figure %s has no description", info.ID)
+		}
+	}
 	if len(ids) != len(want) {
 		t.Fatalf("registry %v, want %v", ids, want)
 	}
@@ -391,5 +400,41 @@ func TestIncastWorkloadBoundedByCredits(t *testing.T) {
 	if free.PeakUnexpected <= bounded.PeakUnexpected {
 		t.Errorf("without flow control the queue peaked at %d, bounded run at %d: the workload no longer overloads",
 			free.PeakUnexpected, bounded.PeakUnexpected)
+	}
+}
+
+func TestAllreduceWorkload(t *testing.T) {
+	// Every algorithm must verify and return a positive completion time.
+	var seed, tree, ring float64
+	var err error
+	const nodes, bytes = 8, 1 << 20
+	if seed, err = AllreduceTime(AllreduceConfig{Nodes: nodes, Elems: bytes / 8, Algo: SeedAlgo}); err != nil {
+		t.Fatal(err)
+	}
+	if tree, err = AllreduceTime(AllreduceConfig{Nodes: nodes, Elems: bytes / 8, Algo: "tree"}); err != nil {
+		t.Fatal(err)
+	}
+	if ring, err = AllreduceTime(AllreduceConfig{Nodes: nodes, Elems: bytes / 8, Algo: "ring"}); err != nil {
+		t.Fatal(err)
+	}
+	if seed <= 0 || tree <= 0 || ring <= 0 {
+		t.Fatalf("non-positive completion times: seed=%g tree=%g ring=%g", seed, tree, ring)
+	}
+	// The acceptance bar of the schedule engine: on large vectors the
+	// segmented pipelined ring beats the seed's blocking binomial tree.
+	if ring >= seed {
+		t.Errorf("pipelined ring (%.0f µs) not faster than the seed blocking tree (%.0f µs) on %d nodes x %dKB",
+			ring, seed, nodes, bytes>>10)
+	}
+	// The nonblocking tree must also not lose to its blocking ancestor.
+	if tree > seed {
+		t.Errorf("schedule-engine tree (%.0f µs) slower than the seed blocking tree (%.0f µs)", tree, seed)
+	}
+	// Bad configurations are rejected.
+	if _, err := AllreduceTime(AllreduceConfig{Nodes: 1, Elems: 8}); err == nil {
+		t.Error("single-node allreduce bench must be rejected")
+	}
+	if _, err := AllreduceTime(AllreduceConfig{Nodes: 4, Elems: 16, Algo: "no-such"}); err == nil {
+		t.Error("unknown algorithm must be rejected")
 	}
 }

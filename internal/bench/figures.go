@@ -488,37 +488,68 @@ func FigIncast() (Figure, error) {
 	return fig, nil
 }
 
-// Registry of everything the harness can regenerate.
-var figureRegistry = map[string]func() (Figure, error){
-	"incast": FigIncast,
-	"2a":     Fig2a, "2b": Fig2b, "2c": Fig2c, "2d": Fig2d,
-	"5.1": Tab51,
-	"3a":  Fig3a, "3b": Fig3b, "3c": Fig3c, "3d": Fig3d,
-	"4a": Fig4a, "4b": Fig4b,
-	"ablation-strategies": AblationStrategies,
-	"ablation-multirail":  AblationMultirail,
-	"ablation-overhead":   AblationOverhead,
-	"ablation-rdv":        AblationRdvThreshold,
-	"ablation-modes":      AblationModes,
-	"ablation-composite":  AblationComposite,
-	"ablation-sampling":   AblationSampling,
+// FigureInfo describes one runnable figure for discovery (-list).
+type FigureInfo struct {
+	ID   string
+	Desc string
 }
 
-// FigureIDs lists the registry keys in stable order.
+// figureList is the registry of everything the harness can regenerate,
+// in curated order: paper figures first, then the ablations and the
+// scale workloads.
+var figureList = []struct {
+	id   string
+	desc string
+	fn   func() (Figure, error)
+}{
+	{"2a", "raw ping-pong latency over MX/Myri-10G (vs MPICH, OpenMPI)", Fig2a},
+	{"2b", "raw ping-pong bandwidth over MX/Myri-10G", Fig2b},
+	{"2c", "raw ping-pong latency over Elan/Quadrics", Fig2c},
+	{"2d", "raw ping-pong bandwidth over Elan/Quadrics", Fig2d},
+	{"5.1", "§5.1 summary: constant software overhead and peak bandwidths", Tab51},
+	{"3a", "8-segment ping-pong over MX, one communicator per segment", Fig3a},
+	{"3b", "16-segment ping-pong over MX", Fig3b},
+	{"3c", "8-segment ping-pong over Quadrics", Fig3c},
+	{"3d", "16-segment ping-pong over Quadrics", Fig3d},
+	{"4a", "indexed-datatype (64B+256KB blocks) transfer time over MX", Fig4a},
+	{"4b", "indexed-datatype transfer time over Quadrics", Fig4b},
+	{"incast", "N-to-1 eager overload: receiver queue bound under credit flow control", FigIncast},
+	{"allreduce", "collective schedule engine: tree/pipelined-ring allreduce vs the seed blocking tree, size × nodes", FigAllreduce},
+	{"ablation-strategies", "strategy choice (aggreg/default/prio) on the 16-segment workload", AblationStrategies},
+	{"ablation-multirail", "heterogeneous multi-rail body splitting (MX + Quadrics)", AblationMultirail},
+	{"ablation-overhead", "decomposing the critical-path software overhead (submit vs sched)", AblationOverhead},
+	{"ablation-rdv", "rendezvous threshold / aggregation cap sweep", AblationRdvThreshold},
+	{"ablation-modes", "§3.2 scheduling modes: just-in-time vs anticipation vs backlog flush", AblationModes},
+	{"ablation-composite", "control-message latency inside a bulk stream (priority strategy)", AblationComposite},
+	{"ablation-sampling", "bandwidth sampling under congestion (cold vs warmed split plan)", AblationSampling},
+}
+
+// FigureIDs lists the registry keys in stable (sorted) order.
 func FigureIDs() []string {
-	ids := make([]string, 0, len(figureRegistry))
-	for id := range figureRegistry {
-		ids = append(ids, id)
+	ids := make([]string, 0, len(figureList))
+	for _, e := range figureList {
+		ids = append(ids, e.id)
 	}
 	sort.Strings(ids)
 	return ids
 }
 
+// Figures lists every runnable figure with its one-line description, in
+// curated registry order (paper figures, then workloads and ablations).
+func Figures() []FigureInfo {
+	out := make([]FigureInfo, 0, len(figureList))
+	for _, e := range figureList {
+		out = append(out, FigureInfo{ID: e.id, Desc: e.desc})
+	}
+	return out
+}
+
 // Run regenerates one figure by id.
 func Run(id string) (Figure, error) {
-	fn, ok := figureRegistry[id]
-	if !ok {
-		return Figure{}, fmt.Errorf("bench: unknown figure %q (have %v)", id, FigureIDs())
+	for _, e := range figureList {
+		if e.id == id {
+			return e.fn()
+		}
 	}
-	return fn()
+	return Figure{}, fmt.Errorf("bench: unknown figure %q (have %v)", id, FigureIDs())
 }

@@ -28,6 +28,11 @@ type MPI struct {
 	world *Comm
 
 	nextCommID uint32
+
+	// Collective algorithm configuration: pinned algorithms per kind
+	// (empty = automatic selection) and the pipelining segment size.
+	collForce map[CollKind]string
+	collSeg   int
 }
 
 // Init creates the MPI environment of one rank. opts selects the engine
@@ -87,9 +92,12 @@ const maxUserTag = 1<<31 - 1
 // Figure 3 experiment uses one communicator per segment precisely to show
 // that the optimization scope is global.
 type Comm struct {
-	mpi     *MPI
-	id      uint32
-	collSeq uint32
+	mpi *MPI
+	id  uint32
+	// collSeq numbers this communicator's collectives; ranks agree on it
+	// because collectives are called in the same order everywhere. It
+	// feeds the epoch-extended collective tag lane (see collsched.go).
+	collSeq uint64
 }
 
 // Dup returns a new communicator with an isolated tag space. Like the

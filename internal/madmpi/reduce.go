@@ -9,9 +9,11 @@ import (
 )
 
 // Reduction collectives over float64 vectors — enough for the dominant
-// numerical use of MPI_Reduce/Allreduce. Binomial-tree reduce, then a
-// broadcast for the All variant (the classic MPICH-1 algorithms, built
-// purely on the point-to-point layer).
+// numerical use of MPI_Reduce/Allreduce — compiled onto the collective
+// schedule engine. The accumulator travels packed as bytes; fold steps
+// are compute nodes of the DAG, ordered by explicit dependencies so the
+// association order (and therefore the floating-point result) is
+// deterministic per algorithm.
 
 // Op is a binary reduction operator applied element-wise.
 type Op func(a, b float64) float64
@@ -25,114 +27,238 @@ var (
 )
 
 // Reduce combines every rank's send vector element-wise into recv at
-// root (recv is ignored elsewhere). All vectors must have equal length.
+// root (recv is ignored elsewhere, and must be exactly len(send) long at
+// root). All ranks must pass vectors of equal length.
 func (c *Comm) Reduce(p *sim.Proc, send, recv []float64, op Op, root int) error {
 	n, me := c.Size(), c.Rank()
 	if root < 0 || root >= n {
 		return fmt.Errorf("%w: reduce root %d", ErrBadRank, root)
 	}
-	tag := c.collTag()
-	// Rotate ranks so the tree roots at 0.
-	vrank := (me - root + n) % n
-	acc := append([]float64(nil), send...)
-	buf := make([]byte, 8*len(send))
-	// Binomial tree: in round k, vranks with bit k set send to
-	// vrank - 2^k and drop out; others receive and fold.
-	for mask := 1; mask < n; mask *= 2 {
+	// The slot is consumed before the root-only buffer check so the
+	// other ranks stay in tag-space lockstep (see Gather).
+	seq := c.nextCollSeq()
+	if me == root && len(recv) != len(send) {
+		return fmt.Errorf("%w: reduce recv vector %d elements, want exactly %d",
+			ErrCollBuffer, len(recv), len(send))
+	}
+	if n == 1 {
+		copy(recv, send)
+		return nil
+	}
+	acc := PackF64(send)
+	a := CollArgs{Rank: me, Size: n, Root: root, Buf: acc, Op: op, SegBytes: c.mpi.CollSegment()}
+	if err := c.runColl(p, CollReduce, len(acc), seq, a); err != nil {
+		return err
+	}
+	if me == root {
+		unpackF64Into(recv, acc)
+	}
+	return nil
+}
+
+// reduceBinomial is the binomial tree: in round k, vranks with bit k set
+// send their accumulator to vrank-2^k and drop out; the others receive
+// and fold. Receives are all preposted; the folds chain in mask order so
+// the association matches the seed's, and the send to the parent waits
+// only on the last fold.
+func reduceBinomial(pl *CollPlan, a CollArgs) error {
+	n, root := a.Size, a.Root
+	vrank := (a.Rank - root + n) % n
+	acc, op := a.Buf, a.Op
+	lastFold := -1
+	for mask := 1; mask < n; mask <<= 1 {
 		if vrank&mask != 0 {
-			dst := ((vrank - mask) + root) % n
-			return c.Send(p, packF64(acc), dst, tag)
+			dst := (vrank - mask + root) % n
+			pl.Send(dst, acc, lastFold)
+			return nil
 		}
 		if vrank+mask < n {
-			src := ((vrank + mask) + root) % n
-			if _, err := c.Recv(p, buf, src, tag); err != nil {
-				return fmt.Errorf("madmpi: reduce recv: %w", err)
+			src := (vrank + mask + root) % n
+			tmp := make([]byte, len(acc))
+			r := pl.Recv(src, tmp)
+			deps := []int{r}
+			if lastFold >= 0 {
+				deps = append(deps, lastFold)
 			}
-			other := unpackF64(buf, len(acc))
-			for i := range acc {
-				acc[i] = op(acc[i], other[i])
-			}
+			lastFold = pl.Compute(func() { foldF64(acc, tmp, op) }, deps...)
 		}
 	}
-	copy(recv, acc)
 	return nil
 }
 
-// Allreduce is Reduce followed by a broadcast of the result.
+// reducePipeline is the segmented chain: ranks form a chain from the
+// highest vrank down to the root; each rank folds an arriving segment
+// into its local accumulator and forwards it rootward as soon as the
+// fold lands. Segments pipeline through the chain, so for long vectors
+// every link is busy at once.
+func reducePipeline(pl *CollPlan, a CollArgs) error {
+	n, root := a.Size, a.Root
+	vrank := (a.Rank - root + n) % n
+	acc, op := a.Buf, a.Op
+	up := (vrank + 1 + root) % n   // further from the root
+	down := (vrank - 1 + root) % n // closer to the root
+	for _, span := range segSpans(0, len(acc), a.SegBytes, 8, collPairSpace) {
+		seg := acc[span[0] : span[0]+span[1]]
+		foldStep := -1
+		if vrank < n-1 {
+			tmp := make([]byte, len(seg))
+			r := pl.Recv(up, tmp)
+			dst := seg
+			foldStep = pl.Compute(func() { foldF64(dst, tmp, op) }, r)
+		}
+		if vrank > 0 {
+			pl.Send(down, seg, foldStep)
+		}
+	}
+	return nil
+}
+
+// Allreduce is a Reduce whose result lands on every rank. recv must be
+// exactly len(send) elements on every rank.
 func (c *Comm) Allreduce(p *sim.Proc, send, recv []float64, op Op) error {
-	tmp := make([]float64, len(send))
-	if err := c.Reduce(p, send, tmp, op, 0); err != nil {
+	n, me := c.Size(), c.Rank()
+	if len(recv) != len(send) {
+		return fmt.Errorf("%w: allreduce recv vector %d elements, want exactly %d",
+			ErrCollBuffer, len(recv), len(send))
+	}
+	if n == 1 {
+		copy(recv, send)
+		return nil
+	}
+	seq := c.nextCollSeq()
+	acc := PackF64(send)
+	a := CollArgs{Rank: me, Size: n, Buf: acc, Op: op, SegBytes: c.mpi.CollSegment()}
+	if err := c.runColl(p, CollAllreduce, len(acc), seq, a); err != nil {
 		return err
 	}
-	raw := make([]byte, 8*len(send))
-	if c.Rank() == 0 {
-		copy(raw, packF64(tmp))
-	}
-	if err := c.Bcast(p, raw, 0); err != nil {
-		return err
-	}
-	copy(recv, unpackF64(raw, len(send)))
+	unpackF64Into(recv, acc)
 	return nil
 }
 
-// Scatter distributes equal slices of sendBuf (significant at root only)
-// to every rank's recvBuf.
-func (c *Comm) Scatter(p *sim.Proc, sendBuf, recvBuf []byte, root int) error {
-	n, me := c.Size(), c.Rank()
-	if root < 0 || root >= n {
-		return fmt.Errorf("%w: scatter root %d", ErrBadRank, root)
-	}
-	tag := c.collTag()
-	per := len(recvBuf)
-	if me != root {
-		_, err := c.Recv(p, recvBuf, root, tag)
-		return err
-	}
-	if len(sendBuf) < n*per {
-		return fmt.Errorf("madmpi: scatter buffer %d bytes, need %d", len(sendBuf), n*per)
-	}
-	copy(recvBuf, sendBuf[me*per:(me+1)*per])
-	reqs := make([]*Request, 0, n-1)
-	for r := 0; r < n; r++ {
-		if r == me {
-			continue
+// allreduceTree fuses a binomial reduce to rank 0 with a binomial
+// broadcast of the result into one DAG — latency-optimal for short
+// vectors. The broadcast receive reuses the accumulator buffer, so it
+// depends on the reduce-phase send retiring (buffer-reuse safety); the
+// child forwards then hang off that receive.
+func allreduceTree(pl *CollPlan, a CollArgs) error {
+	n, me := a.Size, a.Rank
+	acc, op := a.Buf, a.Op
+	// Reduce phase toward vrank 0 (root = rank 0: vrank == rank).
+	lastFold, reduceSend := -1, -1
+	for mask := 1; mask < n; mask <<= 1 {
+		if me&mask != 0 {
+			reduceSend = pl.Send(me-mask, acc, lastFold)
+			break
 		}
-		reqs = append(reqs, c.Isend(p, sendBuf[r*per:(r+1)*per], r, tag))
+		if me+mask < n {
+			tmp := make([]byte, len(acc))
+			r := pl.Recv(me+mask, tmp)
+			deps := []int{r}
+			if lastFold >= 0 {
+				deps = append(deps, lastFold)
+			}
+			lastFold = pl.Compute(func() { foldF64(acc, tmp, op) }, deps...)
+		}
 	}
-	return Waitall(p, reqs...)
+	// Broadcast phase from vrank 0 over the same buffer.
+	bcastReady := -1
+	if me == 0 {
+		bcastReady = lastFold
+	} else {
+		bcastReady = pl.Recv(binomialParent(me), acc, reduceSend)
+	}
+	for _, child := range binomialChildren(me, n) {
+		pl.Send(child, acc, bcastReady)
+	}
+	return nil
 }
 
-// Alltoall exchanges the i-th slice of sendBuf with rank i; every rank
-// ends with one slice from everyone in recvBuf, rank order. Slice size is
-// len(sendBuf)/Size.
-func (c *Comm) Alltoall(p *sim.Proc, sendBuf, recvBuf []byte) error {
-	n, me := c.Size(), c.Rank()
-	if len(sendBuf)%n != 0 {
-		return fmt.Errorf("madmpi: alltoall send buffer %d not divisible by %d ranks", len(sendBuf), n)
+// allreduceRing is the bandwidth-optimal segmented ring: a
+// reduce-scatter pass (n-1 rounds; each rank ends owning one fully
+// reduced chunk) followed by an allgather pass (n-1 rounds circulating
+// the reduced chunks). Chunks are split into segments so a segment is
+// forwarded the moment its fold lands — the pipelined ring that keeps
+// every link busy for the whole operation and moves only 2(n-1)/n of
+// the vector per link.
+func allreduceRing(pl *CollPlan, a CollArgs) error {
+	n, me := a.Size, a.Rank
+	acc, op := a.Buf, a.Op
+	next, prev := (me+1)%n, (me-1+n)%n
+	elems := len(acc) / 8
+
+	// Balanced element chunks, chunk i destined to be owned reduced by
+	// rank (i-1+n)%n after the reduce-scatter pass.
+	spans := make([][][2]int, n)
+	// Both ring passes traverse each (rank, successor) pair once per
+	// chunk; keep the total within the per-pair sub-tag budget.
+	maxSegs := collPairSpace / (2 * (n - 1))
+	if maxSegs < 1 {
+		maxSegs = 1
 	}
-	per := len(sendBuf) / n
-	if len(recvBuf) < n*per {
-		return fmt.Errorf("madmpi: alltoall recv buffer %d bytes, need %d", len(recvBuf), n*per)
-	}
-	tag := c.collTag()
-	copy(recvBuf[me*per:(me+1)*per], sendBuf[me*per:(me+1)*per])
-	reqs := make([]*Request, 0, 2*(n-1))
-	for r := 0; r < n; r++ {
-		if r == me {
-			continue
+	q, rem := elems/n, elems%n
+	off := 0
+	for i := 0; i < n; i++ {
+		l := q
+		if i < rem {
+			l++
 		}
-		reqs = append(reqs, c.Irecv(p, recvBuf[r*per:(r+1)*per], r, tag))
+		spans[i] = segSpans(off*8, l*8, a.SegBytes, 8, maxSegs)
+		off += l
 	}
-	for r := 0; r < n; r++ {
-		if r == me {
-			continue
+
+	segBuf := func(span [2]int) []byte { return acc[span[0] : span[0]+span[1]] }
+
+	// Reduce-scatter: round t sends chunk (me-t) onward and folds the
+	// arriving chunk (me-t-1); round t+1 forwards exactly what round t
+	// folded, segment by segment.
+	rsSend := make([][]int, n)
+	rsFold := make([][]int, n)
+	for t := 0; t < n-1; t++ {
+		sc := (me - t + n) % n
+		rc := (me - t - 1 + n) % n
+		rsSend[sc] = make([]int, len(spans[sc]))
+		for s, span := range spans[sc] {
+			if t == 0 {
+				rsSend[sc][s] = pl.Send(next, segBuf(span))
+			} else {
+				rsSend[sc][s] = pl.Send(next, segBuf(span), rsFold[sc][s])
+			}
 		}
-		reqs = append(reqs, c.Isend(p, sendBuf[r*per:(r+1)*per], r, tag))
+		rsFold[rc] = make([]int, len(spans[rc]))
+		for s, span := range spans[rc] {
+			tmp := make([]byte, span[1])
+			r := pl.Recv(prev, tmp)
+			dst := segBuf(span)
+			rsFold[rc][s] = pl.Compute(func() { foldF64(dst, tmp, op) }, r)
+		}
 	}
-	return Waitall(p, reqs...)
+
+	// Allgather: circulate the reduced chunks. The receive of chunk
+	// (me-t) overwrites a span whose reduce-scatter send (same round
+	// index t) must have retired first — buffer-reuse safety.
+	agRecv := make([][]int, n)
+	for t := 0; t < n-1; t++ {
+		sc := (me + 1 - t + 2*n) % n
+		rc := (me - t + n) % n
+		for s, span := range spans[sc] {
+			if t == 0 {
+				pl.Send(next, segBuf(span), rsFold[sc][s])
+			} else {
+				pl.Send(next, segBuf(span), agRecv[sc][s])
+			}
+		}
+		agRecv[rc] = make([]int, len(spans[rc]))
+		for s, span := range spans[rc] {
+			agRecv[rc][s] = pl.Recv(prev, segBuf(span), rsSend[rc][s])
+		}
+	}
+	return nil
 }
 
-func packF64(v []float64) []byte {
+// PackF64 packs a float64 vector into its little-endian wire bytes —
+// the representation the reduction schedules fold over. Exported so the
+// bench harness's seed baseline shares the exact format.
+func PackF64(v []float64) []byte {
 	out := make([]byte, 8*len(v))
 	for i, x := range v {
 		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
@@ -140,10 +266,17 @@ func packF64(v []float64) []byte {
 	return out
 }
 
-func unpackF64(b []byte, n int) []float64 {
+// UnpackF64 is the inverse of PackF64.
+func UnpackF64(b []byte, n int) []float64 {
 	out := make([]float64, n)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
+	unpackF64Into(out, b)
 	return out
+}
+
+// unpackF64Into unpacks into an existing vector, so the hot collective
+// entry points do not allocate a second copy of the result.
+func unpackF64Into(dst []float64, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
 }

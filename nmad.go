@@ -61,6 +61,16 @@ type (
 	// Datatype describes a (possibly non-contiguous) memory layout.
 	Datatype = madmpi.Datatype
 
+	// CollKind names a collective operation with pluggable algorithms;
+	// CollAlgo compiles one rank's side of a collective into a schedule
+	// of nonblocking steps on a CollPlan (see RegisterCollAlgo).
+	CollKind = madmpi.CollKind
+	CollAlgo = madmpi.CollAlgo
+	CollPlan = madmpi.CollPlan
+	// CollArgs is what an algorithm builder sees: rank, size, buffers,
+	// the reduction operator and the pipelining segment hint.
+	CollArgs = madmpi.CollArgs
+
 	// Proc is a simulated process; Time is virtual time.
 	Proc = sim.Proc
 	Time = sim.Time
@@ -104,6 +114,15 @@ var (
 	OpMin  = madmpi.OpMin
 	OpProd = madmpi.OpProd
 
+	// Collective algorithm registry access, mirroring the strategy
+	// registry: RegisterCollAlgo adds a named schedule builder for one
+	// collective kind (error on duplicates), CollAlgoNames lists the
+	// registered names, CollKinds the kinds. MPI.ForceCollAlgo (or the
+	// WithCollAlgo option) pins a name, bypassing automatic selection.
+	RegisterCollAlgo = madmpi.RegisterCollAlgo
+	CollAlgoNames    = madmpi.CollAlgoNames
+	CollKinds        = madmpi.CollKinds
+
 	// Network profiles of the five ports.
 	MX10G   = simnet.MX10G
 	QsNetII = simnet.QsNetII
@@ -139,6 +158,30 @@ var (
 
 // AnyTag matches any tag of a communicator (MPI_ANY_TAG).
 const AnyTag = madmpi.AnyTag
+
+// The collective kinds with pluggable algorithms.
+const (
+	CollBarrier   = madmpi.CollBarrier
+	CollBcast     = madmpi.CollBcast
+	CollGather    = madmpi.CollGather
+	CollScatter   = madmpi.CollScatter
+	CollAllgather = madmpi.CollAllgather
+	CollAlltoall  = madmpi.CollAlltoall
+	CollReduce    = madmpi.CollReduce
+	CollAllreduce = madmpi.CollAllreduce
+)
+
+// Collective completion errors.
+var (
+	// ErrCollBuffer: a collective buffer length does not match the
+	// operation (e.g. Gather's recvBuf must be exactly Size×len(sendBuf)).
+	ErrCollBuffer = madmpi.ErrCollBuffer
+	// ErrCollAlgo: an unknown collective algorithm name was forced.
+	ErrCollAlgo = madmpi.ErrCollAlgo
+	// ErrCollTags: a communicator exhausted its collective tag space
+	// (2^29 collectives); Dup a fresh communicator to continue.
+	ErrCollTags = madmpi.ErrCollTags
+)
 
 // Trace event kinds, for filtering a Tracer's timeline.
 const (
@@ -217,13 +260,33 @@ func (c *Cluster) Engine(node int, opts ...EngineOption) (*Engine, error) {
 }
 
 // MPI creates a MAD-MPI rank on the given node. Options configure the
-// underlying engine exactly as for Engine.
+// underlying engine exactly as for Engine, plus the collective layer
+// (WithCollAlgo, WithCollSegment).
 func (c *Cluster) MPI(node int, opts ...EngineOption) (*MPI, error) {
-	o, err := resolveEngine(opts)
+	cfg := resolveFull(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	// Validate the collective configuration before Init attaches an
+	// engine to the node, so an option typo leaves nothing behind.
+	for _, f := range cfg.collForce {
+		if err := madmpi.ValidateCollAlgo(f.kind, f.name); err != nil {
+			return nil, err
+		}
+	}
+	m, err := madmpi.Init(c.fabric, simnet.NodeID(node), cfg.Options)
 	if err != nil {
 		return nil, err
 	}
-	return madmpi.Init(c.fabric, simnet.NodeID(node), o)
+	for _, f := range cfg.collForce {
+		if err := m.ForceCollAlgo(f.kind, f.name); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.collSeg > 0 {
+		m.SetCollSegment(cfg.collSeg)
+	}
+	return m, nil
 }
 
 // Spawn starts a simulated process (one MPI rank's program, a benchmark

@@ -2,6 +2,7 @@ package nmad_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"nmad"
@@ -265,5 +266,67 @@ func TestFacadeUnifiedRequests(t *testing.T) {
 	})
 	if err := cl.Run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFacadeCollectiveOptionsAndRegistry(t *testing.T) {
+	// The registry is visible through the facade.
+	kinds := nmad.CollKinds()
+	if len(kinds) != 8 {
+		t.Fatalf("CollKinds() = %v, want the eight collectives", kinds)
+	}
+	names := nmad.CollAlgoNames(nmad.CollAllreduce)
+	hasRing := false
+	for _, n := range names {
+		if n == "ring" {
+			hasRing = true
+		}
+	}
+	if !hasRing {
+		t.Fatalf("CollAlgoNames(allreduce) = %v, want ring among them", names)
+	}
+	if err := nmad.RegisterCollAlgo(nmad.CollAllreduce, "ring", nil); err == nil {
+		t.Error("duplicate facade registration must fail")
+	}
+
+	// WithCollAlgo/WithCollSegment configure ranks; a forced pipelined
+	// ring allreduce runs correctly over the facade.
+	const n, elems = 4, 1000
+	cl, err := nmad.NewCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < n; rank++ {
+		m, err := cl.MPI(rank,
+			nmad.WithCollAlgo(nmad.CollAllreduce, "ring"),
+			nmad.WithCollSegment(2048))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Spawn("rank", func(p *nmad.Proc) {
+			in := make([]float64, elems)
+			for i := range in {
+				in[i] = float64(m.Rank() + 1)
+			}
+			out := make([]float64, elems)
+			if err := m.CommWorld().Allreduce(p, in, out, nmad.OpSum); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := range out {
+				if out[i] != 1+2+3+4 {
+					t.Errorf("rank %d element %d = %g, want 10", m.Rank(), i, out[i])
+					return
+				}
+			}
+		})
+	}
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unknown forced algorithm surfaces from MPI construction.
+	if _, err := cl.MPI(0, nmad.WithCollAlgo(nmad.CollBcast, "no-such")); !errors.Is(err, nmad.ErrCollAlgo) {
+		t.Errorf("unknown forced algorithm: err = %v, want ErrCollAlgo", err)
 	}
 }

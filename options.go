@@ -44,18 +44,32 @@ type EngineOption func(*engineConfig)
 
 // engineConfig is the resolved engine configuration plus any option
 // error, reported when the engine is constructed rather than by panic.
+// The collective fields apply only to MPI ranks (Cluster.MPI); a bare
+// engine has no collectives to configure.
 type engineConfig struct {
 	core.Options
-	err error
+	collForce []collForcePair
+	collSeg   int
+	err       error
+}
+
+type collForcePair struct {
+	kind CollKind
+	name string
 }
 
 // resolveEngine folds options over the paper's default configuration.
 func resolveEngine(opts []EngineOption) (core.Options, error) {
+	c := resolveFull(opts)
+	return c.Options, c.err
+}
+
+func resolveFull(opts []EngineOption) engineConfig {
 	c := engineConfig{Options: core.DefaultOptions()}
 	for _, opt := range opts {
 		opt(&c)
 	}
-	return c.Options, c.err
+	return c
 }
 
 // WithStrategy selects the optimization strategy: either a registry name
@@ -150,6 +164,28 @@ func WithCredits(n int) EngineOption {
 // one receiver.
 func WithMaxGrants(n int) EngineOption {
 	return func(c *engineConfig) { c.MaxGrants = n }
+}
+
+// WithCollAlgo pins the collective algorithm used for one collective
+// kind on an MPI rank, bypassing the automatic size/comm-size selection:
+//
+//	m, _ := cl.MPI(0, nmad.WithCollAlgo(nmad.CollAllreduce, "ring"))
+//
+// The name must be registered (see RegisterCollAlgo / CollAlgoNames);
+// configure every rank of a job identically. The option only affects
+// Cluster.MPI — a bare engine has no collectives.
+func WithCollAlgo(kind CollKind, name string) EngineOption {
+	return func(c *engineConfig) {
+		c.collForce = append(c.collForce, collForcePair{kind: kind, name: name})
+	}
+}
+
+// WithCollSegment sets the pipelining segment size in bytes for the
+// segmented collective algorithms (pipeline bcast/reduce, ring
+// allreduce). Smaller segments pipeline deeper; larger ones amortize
+// per-packet overhead. Applies to Cluster.MPI ranks only.
+func WithCollSegment(bytes int) EngineOption {
+	return func(c *engineConfig) { c.collSeg = bytes }
 }
 
 // Per-submission scheduling options, accepted by Gate.Isend, Gate.Isendv,

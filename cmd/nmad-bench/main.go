@@ -19,6 +19,8 @@
 // 3a 3b 3c 3d (multi-segment ping-pong), 4a 4b (indexed datatype),
 // incast (N-to-1 overload under credit flow control),
 // allreduce (collective schedule engine vs the seed blocking tree),
+// replay-ab (trace-driven replay: strategy A/B on the recorded
+// composite workload),
 // ablation-strategies ablation-multirail ablation-overhead ablation-rdv
 // ablation-modes ablation-composite ablation-sampling.
 package main

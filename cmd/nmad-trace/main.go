@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	nmad-trace                  # timeline on stdout
-//	nmad-trace -chrome out.json # chrome://tracing / Perfetto export
+//	nmad-trace                    # timeline on stdout
+//	nmad-trace -chrome out.json   # chrome://tracing / Perfetto export
+//	nmad-trace -record out.jsonl  # replayable recording of the offered load
 //	nmad-trace -strategy default
+//
+// A recording written with -record can be re-driven under any strategy,
+// credit budget or rail set with nmad-replay.
 package main
 
 import (
@@ -16,25 +20,29 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"nmad"
 )
 
 func main() {
-	strategy := flag.String("strategy", "aggreg", "engine strategy (default|aggreg|split|prio)")
+	strategy := flag.String("strategy", "aggreg",
+		"engine strategy ("+strings.Join(nmad.Strategies(), "|")+")")
 	chrome := flag.String("chrome", "", "write a Chrome trace-event JSON file instead of a text timeline")
+	record := flag.String("record", "", "write a replayable JSONL recording of the offered load (see nmad-replay)")
 	flag.Parse()
 
 	rec := nmad.NewTracer()
+	recording := nmad.NewRecording()
 	cl, err := nmad.NewCluster(2, nmad.WithRails(nmad.MX10G()))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sender, err := cl.Engine(0, nmad.WithStrategy(*strategy), nmad.WithTracer(rec))
+	sender, err := cl.Engine(0, nmad.WithStrategy(*strategy), nmad.WithTracer(rec), nmad.WithRecording(recording))
 	if err != nil {
 		log.Fatal(err)
 	}
-	receiver, err := cl.Engine(1, nmad.WithStrategy(*strategy))
+	receiver, err := cl.Engine(1, nmad.WithStrategy(*strategy), nmad.WithRecording(recording))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,6 +74,22 @@ func main() {
 		log.Fatal(err)
 	}
 
+	wrote := false
+	if *record != "" {
+		out, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := recording.Write(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d operations to %s (replay with: nmad-replay -ab %s %s)\n",
+			recording.Len(), *record, strings.Join(nmad.Strategies(), ","), *record)
+		wrote = true
+	}
 	if *chrome != "" {
 		out, err := os.Create(*chrome)
 		if err != nil {
@@ -76,6 +100,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %d events to %s\n", rec.Total(), *chrome)
+		wrote = true
+	}
+	if wrote {
 		return
 	}
 	fmt.Printf("sender timeline, strategy=%s (10 small sends + one 256KB rendezvous):\n\n", *strategy)

@@ -112,6 +112,32 @@
 // The incast bench workload (nmad-bench -fig incast) exercises exactly
 // this scenario.
 //
+// # Recording and replaying schedules
+//
+// WithRecording captures a run's offered load — every application-level
+// submission with its virtual-time offset, plus the cluster topology —
+// into a versioned JSONL recording, separated from the schedule the
+// engine produced on it. Replay reconstructs the machine and re-issues
+// each operation at its recorded instant under any strategy, credit
+// budget or rail set: exact A/B comparisons on identical submission
+// timing, immune to the feedback between schedule and application
+// progress that skews live comparisons:
+//
+//	rec := nmad.NewRecording()
+//	e0, _ := cl.Engine(0, nmad.WithRecording(rec))   // every engine
+//	... run, then rec.Write(f) / loaded, _ := nmad.ReadRecording(f)
+//	results, _ := nmad.ReplayAB(loaded, []string{"default", "aggreg"})
+//
+// Replaying the same recording under the same strategy is
+// event-for-event deterministic, asserted against golden timelines in
+// internal/replay/testdata (the regression gate for scheduler changes);
+// replaying under the recorded personality reproduces the original live
+// run's Stats and timeline exactly. The format's version field
+// (RecordingVersion, currently 1) gates compatibility: newer-version
+// recordings are refused, unknown fields are ignored, semantic changes
+// bump the version. cmd/nmad-trace -record writes a recording;
+// cmd/nmad-replay re-drives one (-strategy, -ab, -credits, -grants).
+//
 // # Layout
 //
 //   - package nmad (this package): the facade — Cluster assembly,
@@ -133,6 +159,10 @@
 //   - internal/madmpi: MAD-MPI — communicators, point-to-point,
 //     derived datatypes, and the collective schedule engine with its
 //     pluggable algorithm registry.
+//   - internal/trace: scheduling-decision timelines (text and Chrome
+//     trace-event export) and the versioned record/replay format.
+//   - internal/replay: re-drives a recording under any strategy, credit
+//     budget or rail set; golden-timeline determinism tests.
 //   - internal/baseline: MPICH-like and OpenMPI-like comparators.
 //   - internal/bench: the harness regenerating every evaluation figure.
 //

@@ -515,6 +515,7 @@ var figureList = []struct {
 	{"4b", "indexed-datatype transfer time over Quadrics", Fig4b},
 	{"incast", "N-to-1 eager overload: receiver queue bound under credit flow control", FigIncast},
 	{"allreduce", "collective schedule engine: tree/pipelined-ring allreduce vs the seed blocking tree, size × nodes", FigAllreduce},
+	{"replay-ab", "trace-driven replay A/B: strategies on the recorded composite workload, identical submission timing", FigReplayAB},
 	{"ablation-strategies", "strategy choice (aggreg/default/prio) on the 16-segment workload", AblationStrategies},
 	{"ablation-multirail", "heterogeneous multi-rail body splitting (MX + Quadrics)", AblationMultirail},
 	{"ablation-overhead", "decomposing the critical-path software overhead (submit vs sched)", AblationOverhead},

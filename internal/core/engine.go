@@ -64,6 +64,12 @@ type Options struct {
 	// Tracer, when non-nil, records every scheduling decision on the
 	// virtual timeline (see package trace).
 	Tracer *trace.Recorder
+	// Record, when non-nil, captures every application-level submission
+	// (Isend/Isendv/Irecv/pack pieces) with its virtual-time offset into
+	// a replayable recording: the offered load of the run, separated
+	// from the schedule produced on it (see trace.Recording and package
+	// replay). Attach the same recording to every engine of a cluster.
+	Record *trace.Recording
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -131,6 +137,25 @@ func New(f *simnet.Fabric, node simnet.NodeID, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
+	if opts.Record != nil && opts.StrategyImpl != nil {
+		// The recording stores strategies by registry name; a bare
+		// strategy value replay cannot reconstruct would fail (or worse,
+		// silently resolve to an unrelated strategy sharing the name) —
+		// refuse at record time, where the user can still fix it.
+		if _, err := sched.New(strat.Name()); err != nil {
+			return nil, fmt.Errorf("core: recording an engine with unregistered strategy %q: replay resolves strategies by registry name — register it with sched.Register", strat.Name())
+		}
+	}
+	opts.Record.RegisterEngine(int(node), trace.NodeConfig{
+		Strategy:         strat.Name(),
+		SubmitOverhead:   opts.SubmitOverhead,
+		ScheduleOverhead: opts.ScheduleOverhead,
+		BodyChunk:        opts.BodyChunk,
+		Anticipate:       opts.Anticipate,
+		FlushBacklog:     opts.FlushBacklog,
+		Credits:          opts.Credits,
+		MaxGrants:        opts.MaxGrants,
+	})
 	w := f.World()
 	return &Engine{
 		world:    w,
@@ -173,6 +198,13 @@ func (e *Engine) Attach(drv drivers.Driver) error {
 // AttachFabric attaches one driver per network of the fabric, using the
 // port registry.
 func (e *Engine) AttachFabric(f *simnet.Fabric) error {
+	if e.opts.Record != nil {
+		rails := make([]simnet.Profile, 0, len(f.Networks()))
+		for _, net := range f.Networks() {
+			rails = append(rails, net.Profile())
+		}
+		e.opts.Record.RegisterTopology(f.Nodes(), rails, e.node.Host())
+	}
 	for _, net := range f.Networks() {
 		drv, err := drivers.New(net, e.node.ID)
 		if err != nil {
@@ -300,6 +332,46 @@ func (e *Engine) traceEvent(kind trace.Kind, peer simnet.NodeID, rail int, tag T
 		Bytes:   bytes,
 		Entries: entries,
 		Note:    note,
+	})
+}
+
+// recordSend appends one application-level send to the attached
+// recording (Options.Record): called at entry, before the submit
+// overhead is charged, so replay re-drives the call at the same instant
+// and pays the same costs.
+func (e *Engine) recordSend(g *Gate, tag Tag, iov iovec, cfg sendConfig) {
+	if e.opts.Record == nil {
+		return
+	}
+	e.opts.Record.RecordOp(trace.Op{
+		At:          e.world.Now(),
+		Node:        int(e.node.ID),
+		Peer:        int(g.peer),
+		Kind:        trace.OpSend,
+		Tag:         uint64(tag),
+		Segs:        iov.segLens(),
+		Priority:    cfg.flags&FlagPriority != 0,
+		Unordered:   cfg.flags&FlagUnordered != 0,
+		Synchronous: cfg.flags&FlagNeedAck != 0,
+		Rail:        cfg.driver,
+	})
+}
+
+// recordRecv appends one application-level receive posting to the
+// attached recording.
+func (e *Engine) recordRecv(g *Gate, want, mask Tag, iov iovec) {
+	if e.opts.Record == nil {
+		return
+	}
+	e.opts.Record.RecordOp(trace.Op{
+		At:   e.world.Now(),
+		Node: int(e.node.ID),
+		Peer: int(g.peer),
+		Kind: trace.OpRecv,
+		Tag:  uint64(want),
+		Mask: uint64(mask),
+		Segs: iov.segLens(),
+		Rail: AnyDriver,
 	})
 }
 
@@ -498,6 +570,7 @@ func (e *Engine) account(g *Gate, drv int, out *output) {
 	if hasData && hasCtrl {
 		e.stats.CtrlPiggybacked++
 	}
+	e.stats.WireBytes += int64(out.wireSize())
 	e.traceEvent(trace.Elect, g.peer, drv, 0, out.wireSize(), len(out.entries), e.strat.Name())
 }
 

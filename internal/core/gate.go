@@ -121,6 +121,7 @@ func (g *Gate) isendIov(p *sim.Proc, tag Tag, iov iovec, cfg sendConfig) *SendRe
 		req.complete(errNoDrivers)
 		return req
 	}
+	g.eng.recordSend(g, tag, iov, cfg)
 	g.eng.chargeSubmit(p)
 	size := iov.total()
 	if g.eng.needsFlatten(cfg.driver, 1+iov.segCount(), size) {
@@ -139,7 +140,7 @@ func (g *Gate) isendIov(p *sim.Proc, tag Tag, iov iovec, cfg sendConfig) *SendRe
 		kind:   kindData,
 		flags:  cfg.flags,
 		tag:    tag,
-		seq:    g.nextSeq(tag),
+		seq:    g.seqFor(tag, cfg.flags),
 		iov:    iov,
 		size:   uint32(size),
 		driver: cfg.driver,
@@ -223,7 +224,15 @@ func (g *Gate) IrecvMasked(p *sim.Proc, want, mask Tag, buf []byte) *RecvRequest
 	return g.irecvIov(p, want, mask, singleIov(buf))
 }
 
+// IrecvvMasked is the vector form of IrecvMasked: a wildcard receive
+// scattering across the iovec segments. It is the general receive shape
+// a replayed recording re-posts (package replay).
+func (g *Gate) IrecvvMasked(p *sim.Proc, want, mask Tag, segs [][]byte) *RecvRequest {
+	return g.irecvIov(p, want, mask, iovec(segs))
+}
+
 func (g *Gate) irecvIov(p *sim.Proc, want, mask Tag, iov iovec) *RecvRequest {
+	g.eng.recordRecv(g, want, mask, iov)
 	g.eng.chargeSubmit(p)
 	req := &RecvRequest{request: request{eng: g.eng}, want: want & mask, mask: mask, iov: iov}
 	if !g.matchUnexpected(req) {
@@ -277,6 +286,18 @@ func (g *Gate) nextSeq(tag Tag) SeqNum {
 	s := g.sendSeq[tag]
 	g.sendSeq[tag] = s + 1
 	return s
+}
+
+// seqFor assigns the flow sequence number of one data wrapper. Unordered
+// wrappers bypass the receiver's resequencing entirely, so they must not
+// consume a slot in the flow order: an ordered send following an
+// unordered one on the same flow would otherwise wait forever for a
+// sequence number nobody delivers in order.
+func (g *Gate) seqFor(tag Tag, flags Flags) SeqNum {
+	if flags&FlagUnordered != 0 {
+		return 0
+	}
+	return g.nextSeq(tag)
 }
 
 // pushCtrl submits a control wrapper (rendezvous handshake). Control

@@ -36,6 +36,16 @@ func (v iovec) segCount() int {
 	return n
 }
 
+// segLens returns the segment lengths (empty segments included, so a
+// recorded layout replays exactly as it was submitted).
+func (v iovec) segLens() []int {
+	out := make([]int, len(v))
+	for i, s := range v {
+		out[i] = len(s)
+	}
+	return out
+}
+
 // appendSegs appends the non-empty segments to a gather list.
 func (v iovec) appendSegs(segs [][]byte) [][]byte {
 	for _, s := range v {

@@ -42,6 +42,13 @@ func (m *Message) pack(p *sim.Proc, data []byte, flags Flags) {
 	if m.ended {
 		panic("core: Pack after End")
 	}
+	// Pack has no ack machinery (End's barrier already synchronizes), so
+	// the flag must not reach the wire: the receiver would ack aux 0 and
+	// the sender would count a protocol error for every piece.
+	flags &^= FlagNeedAck
+	// Pack pieces record as independent sends: each submits an identical
+	// wrapper.
+	m.g.eng.recordSend(m.g, m.tag, singleIov(data), sendConfig{flags: flags, driver: m.cfg.driver})
 	m.g.eng.chargeSubmit(p)
 	m.req.add(1)
 	m.req.bytes += len(data)
@@ -50,7 +57,7 @@ func (m *Message) pack(p *sim.Proc, data []byte, flags Flags) {
 		kind:   kindData,
 		flags:  flags,
 		tag:    m.tag,
-		seq:    m.g.nextSeq(m.tag),
+		seq:    m.g.seqFor(m.tag, flags),
 		iov:    singleIov(data),
 		size:   uint32(len(data)),
 		driver: m.cfg.driver,

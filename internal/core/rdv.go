@@ -264,6 +264,7 @@ func (e *Engine) startBody(rs *rdvSend, granted int) {
 		e.stats.BodyBytes += int64(c.len)
 		if c.rdma {
 			e.stats.PerDriverBytes[c.drv] += int64(c.len)
+			e.stats.WireBytes += int64(c.len)
 			aux := uint64(rs.id)<<32 | uint64(uint32(c.off))
 			req := rs.req
 			drv := c.drv

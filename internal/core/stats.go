@@ -27,6 +27,10 @@ type Stats struct {
 	// BodyBytes is payload streamed as rendezvous bodies.
 	EagerBytes int64
 	BodyBytes  int64
+	// WireBytes is the total wire footprint the node injected: output
+	// packets with their per-entry headers, plus RDMA rendezvous body
+	// transactions. The figure of merit replay A/B comparisons report.
+	WireBytes int64
 	// PerDriverBytes splits (payload) traffic by rail.
 	PerDriverBytes []int64
 	// Reordered counts wrappers that arrived ahead of their flow order

@@ -1,0 +1,144 @@
+package replay
+
+import (
+	"fmt"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// CompositeConfig parameterizes the canonical composite workload: the
+// multiplexing scenario of the paper's §2 — a bulk stream, a burst of
+// small multi-flow sends, one large rendezvous transfer and a
+// latency-sensitive priority control message, with a small reply flowing
+// back. It exercises aggregation, rendezvous conversion, priority
+// election and control piggybacking in one recording.
+type CompositeConfig struct {
+	// Bulk is the bulk chunk size; NBulk how many chunks stream.
+	Bulk  int
+	NBulk int
+	// Small is how many 128-byte small sends burst across distinct
+	// flows.
+	Small int
+	// Large is the size of the single rendezvous transfer.
+	Large int
+	// Strategy etc. set the recorded engine personality.
+	Strategy  string
+	Credits   int
+	MaxGrants int
+}
+
+// CanonicalConfig is the fixed parameter set behind the committed golden
+// recording (testdata/canonical.jsonl) and the CI replay smoke.
+func CanonicalConfig() CompositeConfig {
+	return CompositeConfig{
+		Bulk:     8 << 10,
+		NBulk:    12,
+		Small:    8,
+		Large:    256 << 10,
+		Strategy: "aggreg",
+	}
+}
+
+// Flow tags of the composite workload.
+const (
+	bulkTag  = core.Tag(1)
+	ctrlTag  = core.Tag(2)
+	largeTag = core.Tag(3)
+	replyTag = core.Tag(4)
+	smallTag = core.Tag(16) // smallTag+i, one flow per small send
+)
+
+// RecordComposite runs the composite workload live on a fresh two-node
+// MX cluster with recording enabled and returns the recording. The run
+// is deterministic: the same configuration always yields the same
+// recording, byte for byte.
+func RecordComposite(cfg CompositeConfig) (*trace.Recording, error) {
+	rec := trace.NewRecording()
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		return nil, err
+	}
+	opts := core.DefaultOptions()
+	if cfg.Strategy != "" {
+		opts.Strategy = cfg.Strategy
+	}
+	opts.Credits = cfg.Credits
+	opts.MaxGrants = cfg.MaxGrants
+	opts.Record = rec
+	mk := func(node simnet.NodeID) (*core.Engine, error) {
+		e, err := core.New(f, node, opts)
+		if err != nil {
+			return nil, err
+		}
+		return e, e.AttachFabric(f)
+	}
+	e0, err := mk(0)
+	if err != nil {
+		return nil, err
+	}
+	e1, err := mk(1)
+	if err != nil {
+		return nil, err
+	}
+
+	w.Spawn("sender", func(p *sim.Proc) {
+		g := e0.Gate(1)
+		var reqs []core.Request
+		for i := 0; i < cfg.NBulk; i++ {
+			reqs = append(reqs, g.Isend(p, bulkTag, make([]byte, cfg.Bulk)))
+			switch i {
+			case cfg.NBulk / 3:
+				// The burst of small multi-flow sends lands mid-stream.
+				for j := 0; j < cfg.Small; j++ {
+					reqs = append(reqs, g.Isend(p, smallTag+core.Tag(j), make([]byte, 128)))
+				}
+			case cfg.NBulk / 2:
+				// The latency-sensitive control fragment and the large
+				// rendezvous transfer.
+				reqs = append(reqs, g.Isend(p, ctrlTag, make([]byte, 32), core.Priority()))
+				reqs = append(reqs, g.Isend(p, largeTag, make([]byte, cfg.Large)))
+			}
+		}
+		if err := core.WaitAll(p, reqs...); err != nil {
+			panic(fmt.Sprintf("replay: composite sender: %v", err))
+		}
+		if _, err := g.Recv(p, replyTag, make([]byte, 1<<10)); err != nil {
+			panic(fmt.Sprintf("replay: composite sender reply: %v", err))
+		}
+	})
+	w.Spawn("receiver", func(p *sim.Proc) {
+		g := e1.Gate(0)
+		var reqs []core.Request
+		ctrl := g.Irecv(p, ctrlTag, make([]byte, 32))
+		for i := 0; i < cfg.NBulk; i++ {
+			reqs = append(reqs, g.Irecv(p, bulkTag, make([]byte, cfg.Bulk)))
+		}
+		for j := 0; j < cfg.Small; j++ {
+			reqs = append(reqs, g.Irecv(p, smallTag+core.Tag(j), make([]byte, 128)))
+		}
+		reqs = append(reqs, g.Irecv(p, largeTag, make([]byte, cfg.Large)))
+		// The reply goes out as soon as the control fragment lands: the
+		// RPC-response pattern, recorded from the live schedule.
+		if err := ctrl.Wait(p); err != nil {
+			panic(fmt.Sprintf("replay: composite receiver ctrl: %v", err))
+		}
+		reqs = append(reqs, g.Isend(p, replyTag, make([]byte, 1<<10)))
+		if err := core.WaitAll(p, reqs...); err != nil {
+			panic(fmt.Sprintf("replay: composite receiver: %v", err))
+		}
+	})
+	if err := w.Run(); err != nil {
+		return nil, fmt.Errorf("replay: recording composite workload: %w", err)
+	}
+	return rec, nil
+}
+
+// RecordCanonical records the canonical composite workload — the one
+// the committed golden recording and the CI smoke replay.
+func RecordCanonical() (*trace.Recording, error) {
+	return RecordComposite(CanonicalConfig())
+}

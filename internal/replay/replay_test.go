@@ -1,0 +1,295 @@
+package replay
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nmad/internal/core"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+	"nmad/sched"
+)
+
+// -update regenerates the golden files from the current engine:
+//
+//	go test ./internal/replay -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden recording and timeline files")
+
+const (
+	goldenRecording = "testdata/canonical.jsonl"
+	goldenTimeline  = "testdata/canonical_aggreg.timeline"
+)
+
+func recordingBytes(t *testing.T, rec *trace.Recording) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatalf("serialize recording: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func loadGolden(t *testing.T) *trace.Recording {
+	t.Helper()
+	f, err := os.Open(goldenRecording)
+	if err != nil {
+		t.Fatalf("open golden recording (regenerate with -update): %v", err)
+	}
+	defer f.Close()
+	rec, err := trace.ReadRecording(f)
+	if err != nil {
+		t.Fatalf("parse golden recording: %v", err)
+	}
+	return rec
+}
+
+// The recording itself must be deterministic: the same live workload
+// records byte-identically run over run.
+func TestRecordCanonicalDeterministic(t *testing.T) {
+	a, err := RecordCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecordCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recordingBytes(t, a), recordingBytes(t, b)) {
+		t.Fatal("two recordings of the same live workload differ")
+	}
+	if a.Len() == 0 {
+		t.Fatal("canonical workload recorded no operations")
+	}
+}
+
+// The committed golden recording must match what the current engine
+// records for the canonical workload — when it drifts (a legitimate
+// submission-path change), regenerate with -update and review the diff.
+func TestGoldenRecordingUpToDate(t *testing.T) {
+	rec, err := RecordCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := recordingBytes(t, rec)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenRecording), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenRecording, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes, %d ops)", goldenRecording, len(got), rec.Len())
+		return
+	}
+	want, err := os.ReadFile(goldenRecording)
+	if err != nil {
+		t.Fatalf("read golden recording (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("canonical recording drifted from %s (regenerate with -update and review)", goldenRecording)
+	}
+}
+
+// Round-trip: what Write emits, ReadRecording restores exactly.
+func TestRecordingRoundTrip(t *testing.T) {
+	rec, err := RecordCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := recordingBytes(t, rec)
+	back, err := trace.ReadRecording(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Header(), back.Header()) {
+		t.Errorf("header changed in round-trip:\n got %+v\nwant %+v", back.Header(), rec.Header())
+	}
+	if !reflect.DeepEqual(rec.Ops(), back.Ops()) {
+		t.Error("ops changed in round-trip")
+	}
+}
+
+// The determinism property: replaying the same recording under the same
+// strategy is event-for-event identical run over run, for every built-in
+// strategy. This is the gate every future scheduler change runs against.
+func TestReplayDeterministicPerStrategy(t *testing.T) {
+	rec := loadGolden(t)
+	for _, strat := range []string{"default", "aggreg", "split", "prio", "adaptive"} {
+		t.Run(strat, func(t *testing.T) {
+			a, err := Run(rec, Config{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(rec, Config{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Completion != b.Completion {
+				t.Errorf("completion differs run-over-run: %v vs %v", a.Completion, b.Completion)
+			}
+			if !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Error("stats differ run-over-run")
+			}
+			if !reflect.DeepEqual(a.Events, b.Events) {
+				t.Fatal("event timelines differ run-over-run: replay is not deterministic")
+			}
+			if a.RequestErrors != 0 {
+				t.Errorf("replay reported %d request errors", a.RequestErrors)
+			}
+			if a.Packets() == 0 || a.WireBytes() == 0 {
+				t.Errorf("replay moved nothing: packets=%d wire=%d", a.Packets(), a.WireBytes())
+			}
+		})
+	}
+}
+
+// The golden timeline: the schedule the aggreg strategy produces on the
+// golden recording, asserted line for line against testdata/.
+func TestGoldenTimelineAggreg(t *testing.T) {
+	rec := loadGolden(t)
+	res, err := Run(rec, Config{Strategy: "aggreg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(res.TimelineLines(), "\n") + "\n"
+	if *update {
+		if err := os.WriteFile(goldenTimeline, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d lines)", goldenTimeline, len(res.TimelineLines()))
+		return
+	}
+	want, err := os.ReadFile(goldenTimeline)
+	if err != nil {
+		t.Fatalf("read golden timeline (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		// Locate the first diverging line for a useful failure message.
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("timeline drifted from %s at line %d:\n got: %s\nwant: %s\n(regenerate with -update and review)",
+					goldenTimeline, i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("timeline drifted from %s: %d lines vs %d (regenerate with -update and review)",
+			goldenTimeline, len(gl), len(wl))
+	}
+}
+
+// A/B on the golden recording: the strategies must produce different
+// schedules on the same load, and the window-less default strategy can
+// never aggregate more than aggreg does.
+func TestReplayABOnGolden(t *testing.T) {
+	rec := loadGolden(t)
+	results, err := AB(rec, []string{"default", "aggreg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, agg := results[0], results[1]
+	for _, r := range results {
+		if r.Completion <= 0 {
+			t.Fatalf("%s: no completion time", r.Strategy)
+		}
+		if r.RequestErrors != 0 {
+			t.Fatalf("%s: %d request errors", r.Strategy, r.RequestErrors)
+		}
+	}
+	if agg.AggregationRatio() < def.AggregationRatio() {
+		t.Errorf("aggreg aggregates less than default on the same load: %.2f vs %.2f",
+			agg.AggregationRatio(), def.AggregationRatio())
+	}
+	if agg.Packets() > def.Packets() {
+		t.Errorf("aggreg used more packets than default on the same load: %d vs %d",
+			agg.Packets(), def.Packets())
+	}
+}
+
+// Credit and rail overrides re-drive the same load under a different
+// flow-control budget / machine without touching the recording.
+func TestReplayOverrides(t *testing.T) {
+	rec := loadGolden(t)
+	credits := 4
+	grants := 1
+	res, err := Run(rec, Config{Strategy: "aggreg", Credits: &credits, MaxGrants: &grants})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RequestErrors != 0 {
+		t.Fatalf("credited replay: %d request errors", res.RequestErrors)
+	}
+	budget := 0
+	for _, s := range res.Stats {
+		if s.PeakUnexpected > budget {
+			budget = s.PeakUnexpected
+		}
+	}
+	if budget > credits {
+		t.Errorf("peak unexpected queue %d exceeds the overridden credit budget %d", budget, credits)
+	}
+	base, err := Run(rec, Config{Strategy: "aggreg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completion < base.Completion {
+		t.Errorf("throttled replay finished before the unthrottled one: %v < %v", res.Completion, base.Completion)
+	}
+}
+
+// Version gate: a recording from a future format version is refused.
+func TestReadRecordingRejectsFutureVersion(t *testing.T) {
+	raw := recordingBytes(t, mustRecording(t))
+	bumped := bytes.Replace(raw, []byte(`"version":1`), []byte(`"version":99`), 1)
+	if bytes.Equal(raw, bumped) {
+		t.Fatal("version field not found in serialized header")
+	}
+	if _, err := trace.ReadRecording(bytes.NewReader(bumped)); err == nil {
+		t.Error("future-version recording accepted")
+	}
+	if _, err := trace.ReadRecording(strings.NewReader(`{"format":"something-else","version":1}`)); err == nil {
+		t.Error("foreign format accepted")
+	}
+}
+
+// unregisteredStrategy is a strategy value not present in the registry.
+type unregisteredStrategy struct{}
+
+func (unregisteredStrategy) Name() string                                           { return "not-in-registry" }
+func (unregisteredStrategy) Elect(w sched.Window, r sched.RailInfo) *sched.Election { return nil }
+
+// Recording an engine whose strategy replay cannot reconstruct (a bare
+// StrategyImpl value with an unregistered name) must fail at record
+// time, not at replay time.
+func TestRecordRejectsUnregisteredStrategyImpl(t *testing.T) {
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.StrategyImpl = unregisteredStrategy{}
+	opts.Record = trace.NewRecording()
+	if _, err := core.New(f, 0, opts); err == nil {
+		t.Fatal("recording with an unregistered StrategyImpl accepted; replay could never reconstruct it")
+	}
+	// Without a recording the same engine is fine.
+	opts.Record = nil
+	if _, err := core.New(f, 0, opts); err != nil {
+		t.Fatalf("StrategyImpl without recording rejected: %v", err)
+	}
+}
+
+func mustRecording(t *testing.T) *trace.Recording {
+	t.Helper()
+	rec, err := RecordCanonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}

@@ -27,6 +27,9 @@ type Node struct {
 	host Host
 }
 
+// Host returns the machine parameters of the node.
+func (n *Node) Host() Host { return n.host }
+
 // CopyCost is the virtual time needed to memcpy n bytes on this host.
 func (n *Node) CopyCost(size int) sim.Time {
 	return sim.ByteTime(size, n.host.MemcpyBandwidth)

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"nmad/internal/sim"
+)
+
+// sampleEvents is a small timeline spanning two nodes, three rails and
+// engine-level (rail -1) events, deliberately recorded in the order the
+// engine would emit them.
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Kind: Submit, Node: 0, Peer: 1, Rail: -1, Tag: 3, Bytes: 128},
+		{At: 150 * sim.Nanosecond, Kind: Submit, Node: 0, Peer: 1, Rail: -1, Tag: 4, Bytes: 256},
+		{At: 300 * sim.Nanosecond, Kind: Elect, Node: 0, Peer: 1, Rail: 0, Bytes: 432, Entries: 2, Note: "aggreg"},
+		{At: 500 * sim.Nanosecond, Kind: Depart, Node: 0, Peer: 1, Rail: 1, Bytes: 384, Entries: 2},
+		{At: 2 * sim.Microsecond, Kind: Arrive, Node: 1, Peer: 0, Rail: 2, Bytes: 384},
+		{At: 2100 * sim.Nanosecond, Kind: Deliver, Node: 1, Peer: 0, Rail: -1, Tag: 3, Bytes: 128},
+	}
+}
+
+func writeChrome(t *testing.T, evs []Event) []chromeEvent {
+	t.Helper()
+	r := NewRecorder()
+	for _, ev := range evs {
+		r.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var out []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("WriteChrome emitted invalid JSON: %v\n%s", err, buf.String())
+	}
+	return out
+}
+
+// The export must be a valid JSON trace-event array that round-trips,
+// one output event per recorded event, in recorder order.
+func TestWriteChromeRoundTripAndOrdering(t *testing.T) {
+	evs := sampleEvents()
+	out := writeChrome(t, evs)
+	if len(out) != len(evs) {
+		t.Fatalf("exported %d events, recorded %d", len(out), len(evs))
+	}
+	for i, ce := range out {
+		ev := evs[i]
+		if ce.Name != ev.Kind.String() {
+			t.Errorf("event %d: name %q, want kind %q", i, ce.Name, ev.Kind)
+		}
+		if ce.Phase != "i" || ce.Scope != "t" {
+			t.Errorf("event %d: phase/scope %q/%q, want instant/thread", i, ce.Phase, ce.Scope)
+		}
+		if want := ev.At.Microseconds(); ce.Ts != want {
+			t.Errorf("event %d: ts %v µs, want %v", i, ce.Ts, want)
+		}
+		if i > 0 && out[i].Pid == out[i-1].Pid && out[i].Ts < out[i-1].Ts {
+			t.Errorf("event %d: ts went backwards within node %d (%v after %v)",
+				i, ce.Pid, ce.Ts, out[i-1].Ts)
+		}
+	}
+}
+
+// pid is the node, tid is rail+1 so engine-level events (rail -1) land
+// on track 0 and rail k on track k+1.
+func TestWriteChromePidTidMapping(t *testing.T) {
+	out := writeChrome(t, sampleEvents())
+	for i, ev := range sampleEvents() {
+		if out[i].Pid != ev.Node {
+			t.Errorf("event %d: pid %d, want node %d", i, out[i].Pid, ev.Node)
+		}
+		if want := ev.Rail + 1; out[i].Tid != want {
+			t.Errorf("event %d: tid %d, want rail+1 = %d", i, out[i].Tid, want)
+		}
+	}
+}
+
+// Args carry only the fields the event actually set: absent peers,
+// zero sizes and empty notes must not clutter the export.
+func TestWriteChromeArgs(t *testing.T) {
+	out := writeChrome(t, sampleEvents())
+	elect := out[2]
+	for key, want := range map[string]float64{"peer": 1, "bytes": 432, "entries": 2} {
+		got, ok := elect.Args[key].(float64)
+		if !ok || got != want {
+			t.Errorf("elect args[%q] = %v, want %v", key, elect.Args[key], want)
+		}
+	}
+	if note, _ := elect.Args["note"].(string); note != "aggreg" {
+		t.Errorf("elect args[note] = %v, want aggreg", elect.Args["note"])
+	}
+	first := out[0]
+	if _, ok := first.Args["entries"]; ok {
+		t.Error("submit event exported a zero entries arg")
+	}
+	if _, ok := first.Args["note"]; ok {
+		t.Error("submit event exported an empty note arg")
+	}
+	// A tagless, byteless event keeps its args minimal.
+	minimal := writeChrome(t, []Event{{At: 0, Kind: Arrive, Node: 0, Peer: -1, Rail: 0}})
+	if len(minimal[0].Args) != 0 {
+		t.Errorf("minimal event exported args %v, want none", minimal[0].Args)
+	}
+}
+
+// An empty recorder still exports a valid (empty) JSON array.
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []chromeEvent
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("empty export invalid JSON: %v", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("empty recorder exported %d events", len(out))
+	}
+}

@@ -1,0 +1,237 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Recording is the machine-readable record/replay format: the offered
+// load of a run, separated from the scheduling decisions made on it. It
+// captures every application-level submission (Isend/Isendv/Irecv/pack
+// pieces) with its virtual-time offset, flow/gate/size/options metadata,
+// plus enough cluster topology (rail profiles, host model, per-node
+// engine personalities) to reconstruct the machine — so the same load
+// can be re-driven under a different strategy, credit budget or rail
+// set (package replay), turning recorded timelines into exact A/B
+// comparisons and deterministic regression tests.
+//
+// The serialized form is versioned JSONL: one header object on the first
+// line, then one operation object per line in submission order.
+//
+// Compatibility policy: readers accept any recording whose format tag
+// matches and whose version is at most RecordingVersion. Unknown fields
+// are ignored (new minor metadata may be added without a version bump);
+// any change to the meaning of existing fields bumps RecordingVersion
+// and is listed here:
+//
+//	version 1: initial format.
+const (
+	// RecordingFormat tags the header line of every recording.
+	RecordingFormat = "nmad-recording"
+	// RecordingVersion is the current (and maximum readable) format
+	// version.
+	RecordingVersion = 1
+)
+
+// Op kinds: the application-level operations a recording re-drives.
+const (
+	// OpSend is an Isend/Isendv submission (pack pieces record as
+	// independent sends — they submit identical wrappers).
+	OpSend = "send"
+	// OpRecv is an Irecv/Irecvv/IrecvMasked posting.
+	OpRecv = "recv"
+)
+
+// Op is one recorded application-level operation.
+type Op struct {
+	// At is the virtual time the operation entered the engine (before
+	// the submit overhead is charged; replay re-charges it).
+	At sim.Time `json:"at"`
+	// Node issued the operation; Peer is the gate it addressed.
+	Node int `json:"node"`
+	Peer int `json:"peer"`
+	// Kind is OpSend or OpRecv.
+	Kind string `json:"op"`
+	// Tag is the flow tag of a send, or the wanted tag of a receive.
+	Tag uint64 `json:"tag"`
+	// Mask is the receive's tag mask (receives only; all-ones for exact
+	// matches).
+	Mask uint64 `json:"mask,omitempty"`
+	// Segs are the iovec segment lengths: the payload layout of a send,
+	// the landing layout of a receive.
+	Segs []int `json:"segs"`
+	// Scheduling options of a send.
+	Priority    bool `json:"priority,omitempty"`
+	Unordered   bool `json:"unordered,omitempty"`
+	Synchronous bool `json:"sync,omitempty"`
+	// Rail pins the send to one rail; -1 is the load-balanced common
+	// list.
+	Rail int `json:"rail"`
+}
+
+// NodeConfig is the recorded engine personality of one node, enough to
+// rebuild core.Options at replay time (replay may override parts of it).
+type NodeConfig struct {
+	Strategy         string   `json:"strategy"`
+	SubmitOverhead   sim.Time `json:"submit_overhead"`
+	ScheduleOverhead sim.Time `json:"schedule_overhead"`
+	BodyChunk        int      `json:"body_chunk,omitempty"`
+	Anticipate       bool     `json:"anticipate,omitempty"`
+	FlushBacklog     int      `json:"flush_backlog,omitempty"`
+	Credits          int      `json:"credits,omitempty"`
+	MaxGrants        int      `json:"max_grants,omitempty"`
+}
+
+// RecordingHeader is the first JSONL line: format tag, version and the
+// cluster topology needed to reconstruct the machine.
+type RecordingHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Nodes is the fabric size; Rails the full network profiles in
+	// attach order (full profiles, not names, so tuned thresholds
+	// replay exactly); Host the node machine model.
+	Nodes int              `json:"nodes"`
+	Rails []simnet.Profile `json:"rails"`
+	Host  simnet.Host      `json:"host"`
+	// Engines maps node id to the engine personality recorded there.
+	Engines map[int]NodeConfig `json:"engines"`
+}
+
+// Recording accumulates the offered load of a run. Attach one to every
+// engine of a cluster (core.Options.Record / nmad.WithRecording); the
+// engines register their topology and personalities, and every
+// application-level submission appends one Op.
+type Recording struct {
+	header RecordingHeader
+	ops    []Op
+}
+
+// NewRecording returns an empty current-version recording.
+func NewRecording() *Recording {
+	return &Recording{header: RecordingHeader{
+		Format:  RecordingFormat,
+		Version: RecordingVersion,
+		Engines: make(map[int]NodeConfig),
+	}}
+}
+
+// RegisterTopology records the machine: fabric size, rail profiles in
+// attach order and the host model. The first registration wins — every
+// engine of a cluster attaches the same fabric, so later calls are
+// redundant and ignored.
+func (r *Recording) RegisterTopology(nodes int, rails []simnet.Profile, host simnet.Host) {
+	if r == nil || len(r.header.Rails) > 0 {
+		return
+	}
+	if nodes > r.header.Nodes {
+		r.header.Nodes = nodes
+	}
+	r.header.Rails = append([]simnet.Profile(nil), rails...)
+	r.header.Host = host
+}
+
+// RegisterEngine records the engine personality of one node.
+func (r *Recording) RegisterEngine(node int, cfg NodeConfig) {
+	if r == nil {
+		return
+	}
+	if node+1 > r.header.Nodes {
+		r.header.Nodes = node + 1
+	}
+	r.header.Engines[node] = cfg
+}
+
+// RecordOp appends one operation. Safe to call on a nil recording.
+func (r *Recording) RecordOp(op Op) {
+	if r == nil {
+		return
+	}
+	for _, n := range []int{op.Node, op.Peer} {
+		if n+1 > r.header.Nodes {
+			r.header.Nodes = n + 1
+		}
+	}
+	r.ops = append(r.ops, op)
+}
+
+// Header returns the recorded topology (a shallow copy; Rails and
+// Engines are shared — treat them as read-only).
+func (r *Recording) Header() RecordingHeader { return r.header }
+
+// Ops returns the recorded operations in submission order (the backing
+// slice is shared — treat it as read-only).
+func (r *Recording) Ops() []Op { return r.ops }
+
+// Len reports how many operations were recorded.
+func (r *Recording) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.ops)
+}
+
+// Write serializes the recording as versioned JSONL: the header line,
+// then one line per operation.
+func (r *Recording) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(r.header); err != nil {
+		return err
+	}
+	for _, op := range r.ops {
+		if err := enc.Encode(op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRecording parses a JSONL recording, validating the format tag and
+// the version (at most RecordingVersion; see the compatibility policy).
+func ReadRecording(rd io.Reader) (*Recording, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty recording")
+	}
+	rec := NewRecording()
+	if err := json.Unmarshal(sc.Bytes(), &rec.header); err != nil {
+		return nil, fmt.Errorf("trace: bad recording header: %w", err)
+	}
+	if rec.header.Format != RecordingFormat {
+		return nil, fmt.Errorf("trace: not a recording (format %q, want %q)", rec.header.Format, RecordingFormat)
+	}
+	if rec.header.Version < 1 || rec.header.Version > RecordingVersion {
+		return nil, fmt.Errorf("trace: recording version %d unsupported (this reader handles 1..%d)",
+			rec.header.Version, RecordingVersion)
+	}
+	if rec.header.Engines == nil {
+		rec.header.Engines = make(map[int]NodeConfig)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var op Op
+		if err := json.Unmarshal(sc.Bytes(), &op); err != nil {
+			return nil, fmt.Errorf("trace: recording line %d: %w", line, err)
+		}
+		if op.Kind != OpSend && op.Kind != OpRecv {
+			return nil, fmt.Errorf("trace: recording line %d: unknown op %q", line, op.Kind)
+		}
+		rec.ops = append(rec.ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nmad/internal/simnet"
+)
+
+func TestRecordingTopologyRegistration(t *testing.T) {
+	rec := NewRecording()
+	hdr := rec.Header()
+	if hdr.Format != RecordingFormat || hdr.Version != RecordingVersion {
+		t.Fatalf("fresh recording header %+v", hdr)
+	}
+	rails := []simnet.Profile{simnet.MX10G(), simnet.QsNetII()}
+	rec.RegisterTopology(4, rails, simnet.DefaultHost())
+	// First registration wins; a second (same fabric, next engine) is a
+	// no-op.
+	rec.RegisterTopology(2, rails[:1], simnet.Host{MemcpyBandwidth: 1})
+	hdr = rec.Header()
+	if hdr.Nodes != 4 || len(hdr.Rails) != 2 || hdr.Rails[0].Name != "mx10g" {
+		t.Errorf("topology after double registration: %+v", hdr)
+	}
+	rec.RegisterEngine(5, NodeConfig{Strategy: "aggreg"})
+	if rec.Header().Nodes != 6 {
+		t.Errorf("RegisterEngine(5) did not grow nodes: %d", rec.Header().Nodes)
+	}
+	rec.RecordOp(Op{Node: 2, Peer: 7, Kind: OpSend, Segs: []int{1}})
+	if rec.Header().Nodes != 8 {
+		t.Errorf("RecordOp peer 7 did not grow nodes: %d", rec.Header().Nodes)
+	}
+}
+
+func TestRecordingNilSafety(t *testing.T) {
+	var rec *Recording
+	rec.RecordOp(Op{Kind: OpSend})
+	rec.RegisterEngine(0, NodeConfig{})
+	rec.RegisterTopology(1, nil, simnet.Host{})
+	if rec.Len() != 0 {
+		t.Error("nil recording has length")
+	}
+}
+
+func TestReadRecordingErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"not json":       "hello\n",
+		"wrong format":   `{"format":"chrome-trace","version":1}` + "\n",
+		"version zero":   `{"format":"nmad-recording","version":0}` + "\n",
+		"future version": `{"format":"nmad-recording","version":2}` + "\n",
+		"unknown op":     `{"format":"nmad-recording","version":1,"nodes":2}` + "\n" + `{"op":"warp","node":0,"peer":1}` + "\n",
+		"corrupt op":     `{"format":"nmad-recording","version":1,"nodes":2}` + "\n" + `{"op":` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadRecording(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRecordingWriteReadEmptyOps(t *testing.T) {
+	rec := NewRecording()
+	rec.RegisterTopology(2, []simnet.Profile{simnet.MX10G()}, simnet.DefaultHost())
+	rec.RegisterEngine(0, NodeConfig{Strategy: "aggreg", SubmitOverhead: 150, ScheduleOverhead: 150})
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.Header(), back.Header()) {
+		t.Errorf("header round-trip:\n got %+v\nwant %+v", back.Header(), rec.Header())
+	}
+	if back.Len() != 0 {
+		t.Errorf("ops appeared from nowhere: %d", back.Len())
+	}
+}

@@ -103,6 +103,16 @@ func WithTracer(tr *trace.Recorder) EngineOption {
 	return func(c *engineConfig) { c.Tracer = tr }
 }
 
+// WithRecording captures every application-level submission of the
+// engine (with its virtual-time offset and the cluster topology) into a
+// replayable recording — the offered load of the run, separated from
+// the schedule produced on it. Attach the same recording to every
+// engine of the cluster, then persist it with Recording.Write and
+// re-drive it with Replay / ReplayAB or cmd/nmad-replay.
+func WithRecording(rec *trace.Recording) EngineOption {
+	return func(c *engineConfig) { c.Record = rec }
+}
+
 // WithSubmitOverhead sets the host software cost charged per request
 // entering the collect layer.
 func WithSubmitOverhead(d Time) EngineOption {

@@ -8,11 +8,14 @@
 //	nmad-bench -fig all           # everything (takes a minute)
 //	nmad-bench -fig 4a -format csv
 //	nmad-bench -fig incast,5.1 -json  # machine-readable, for BENCH_*.json trajectories
+//	nmad-bench -fig scale-nodes -seed 7   # lossy figures under another fault seed
 //	nmad-bench -list              # figure ids with one-line descriptions
 //	nmad-bench -fig list          # same
 //
 // Every report is stamped with the strategy and engine options each
-// MAD-MPI series ran with. With -json and more than one figure the
+// MAD-MPI series ran with; the lossy figures additionally stamp the
+// fault-injection seed and profile into each series, and the same seed
+// reproduces identical numbers. With -json and more than one figure the
 // output is a single JSON array.
 //
 // Figure ids: 2a 2b 2c 2d (raw ping-pong), 5.1 (overhead summary),
@@ -21,6 +24,8 @@
 // allreduce (collective schedule engine vs the seed blocking tree),
 // replay-ab (trace-driven replay: strategy A/B on the recorded
 // composite workload),
+// scale-nodes (collectives at 8..1024 emulated nodes, lossless vs 1% drop),
+// drop-resilience (16-segment ring exchange vs drop % per strategy),
 // ablation-strategies ablation-multirail ablation-overhead ablation-rdv
 // ablation-modes ablation-composite ablation-sampling.
 package main
@@ -39,10 +44,12 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv or json")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (same as -format json)")
 	list := flag.Bool("list", false, "list figure ids with descriptions and exit")
+	seed := flag.Uint64("seed", nmad.BenchSeed(), "fault-injection seed for the lossy figures (stamped into their series)")
 	flag.Parse()
 	if *jsonOut {
 		*format = "json"
 	}
+	nmad.BenchSetSeed(*seed)
 
 	if *list || *fig == "list" {
 		w := 0

@@ -33,10 +33,11 @@ func main() {
 	ab := flag.String("ab", "", "comma-separated strategies to A/B: replay the load under each and print a delta table")
 	credits := flag.Int("credits", -1, "override the credit budget on every node (-1 = as recorded)")
 	grants := flag.Int("grants", -1, "override the rendezvous grant cap on every node (-1 = as recorded)")
+	lossless := flag.Bool("lossless", false, "ignore the recorded fault profile and replay on a lossless fabric")
 	flag.Parse()
 
 	if flag.NArg() != 1 || (*strategy != "" && *ab != "") {
-		fmt.Fprintln(os.Stderr, "usage: nmad-replay [-strategy s | -ab s1,s2,...] [-credits n] [-grants n] recording.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: nmad-replay [-strategy s | -ab s1,s2,...] [-credits n] [-grants n] [-lossless] recording.jsonl")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -55,10 +56,14 @@ func main() {
 	for _, p := range hdr.Rails {
 		rails = append(rails, p.Name)
 	}
-	fmt.Printf("recording: %d ops, %d nodes, rails [%s], format v%d\n",
-		rec.Len(), hdr.Nodes, strings.Join(rails, " "), hdr.Version)
+	faults := ""
+	if hdr.Faults != nil {
+		faults = fmt.Sprintf(", faulty (seed %d)", hdr.Faults.Seed)
+	}
+	fmt.Printf("recording: %d ops, %d nodes, rails [%s], format v%d%s\n",
+		rec.Len(), hdr.Nodes, strings.Join(rails, " "), hdr.Version, faults)
 
-	base := nmad.ReplayConfig{Strategy: *strategy}
+	base := nmad.ReplayConfig{Strategy: *strategy, DisableFaults: *lossless}
 	if *credits >= 0 {
 		base.Credits = credits
 	}

@@ -112,6 +112,41 @@
 // The incast bench workload (nmad-bench -fig incast) exercises exactly
 // this scenario.
 //
+// # Fault injection and reliability
+//
+// The fabric can lie. WithFaults installs a seeded FaultProfile on the
+// cluster: per-rail drop/duplicate/reorder probabilities plus scheduled
+// Outage windows during which a rail goes dark, drawn from a
+// deterministic per-network RNG — the same seed always corrupts the
+// same packets (UniformLoss builds the simplest profile; FaultStats
+// reports what the injector did). WithReliability arms the engines'
+// link layer against it: eager trains carry link-sequence framing with
+// cumulative acks piggybacked on reverse traffic (delayed and coalesced
+// when there is none), unacked trains retransmit on timeout
+// (WithRetransmitTimeout), duplicates and reordered trains are absorbed
+// before dispatch, and rendezvous bodies are repaired chunk-wise — the
+// receiver tracks span coverage and re-pushes its CTS until the body is
+// whole. When a rail exhausts its retransmit budget
+// (WithRetransmitBudget) it is declared failed: pinned wrappers re-home
+// to surviving rails, in-flight traffic is re-issued, and a ping/pong
+// probe watches for recovery (the last rail never fails — the engine
+// keeps retrying). Stats counts Retransmits, DupAcks,
+// ReorderedAccepts, BodyReissues, FailedRails and RecoveredRails:
+//
+//	cl, _ := nmad.NewCluster(8, nmad.WithFaults(nmad.UniformLoss(42, 0.10, 1)))
+//	e0, _ := cl.Engine(0, nmad.WithReliability())
+//
+// Both sides of a gate must agree on WithReliability (it changes the
+// wire format). Under reliability an unset body chunk defaults to 64KB
+// so a long rendezvous body cannot monopolize a wire past the
+// retransmit timeout. Fault profiles are stamped into recordings and
+// re-applied seeded on replay, so a lossy replay is timeline-
+// deterministic, retransmissions included; nmad-replay -lossless
+// replays the same load on a clean fabric. The emulation scales: the
+// CI faults job runs a 1024-node dissemination barrier and allgather at
+// 1% drop, and the scale-nodes / drop-resilience bench figures sweep
+// job size and drop probability with every payload verified.
+//
 // # Recording and replaying schedules
 //
 // WithRecording captures a run's offered load — every application-level

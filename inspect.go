@@ -53,4 +53,10 @@ var (
 	BenchFormatTable = bench.FormatTable
 	BenchFormatCSV   = bench.FormatCSV
 	BenchFormatJSON  = bench.FormatJSON
+	// BenchSetSeed / BenchSeed set and report the fault-injection seed
+	// the lossy figures (scale-nodes, drop-resilience) run under. The
+	// seed is stamped into every emitted series; the same seed
+	// reproduces identical numbers.
+	BenchSetSeed = bench.SetSeed
+	BenchSeed    = bench.Seed
 )

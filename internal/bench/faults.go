@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"nmad/internal/core"
+	"nmad/internal/madmpi"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Lossy-fabric workloads: collectives at emulation scale on a fabric
+// that drops packets, measuring what the reliability layer costs. Every
+// run verifies payload integrity — a figure is only emitted if zero
+// payloads were lost, truncated or duplicated.
+
+// benchSeed seeds every fault profile the lossy figures build. One knob
+// for the whole harness (cmd/nmad-bench -seed): the same seed reproduces
+// the same drops, and therefore the same completion numbers, bit for bit.
+var benchSeed uint64 = 42
+
+// SetSeed sets the fault-injection seed for subsequently built figures.
+func SetSeed(s uint64) { benchSeed = s }
+
+// Seed reports the active fault-injection seed.
+func Seed() uint64 { return benchSeed }
+
+// faultStamp renders a profile compactly for the Series stamp.
+func faultStamp(fp simnet.FaultProfile) string {
+	if len(fp.Rails) == 0 {
+		return ""
+	}
+	r := fp.Rails[0]
+	s := fmt.Sprintf("drop=%g%%", 100*r.DropProb)
+	if r.DupProb > 0 {
+		s += fmt.Sprintf(" dup=%g%%", 100*r.DupProb)
+	}
+	if r.ReorderProb > 0 {
+		s += fmt.Sprintf(" reorder=%g%%", 100*r.ReorderProb)
+	}
+	return s
+}
+
+// LossyCollectiveConfig parameterizes one lossy collective run.
+type LossyCollectiveConfig struct {
+	// Nodes is the emulated job size; Kind is "barrier", "allgather" or
+	// "multiseg" (a 16-segment ring neighbor exchange — the workload
+	// where the optimization window matters, since aggregation packs
+	// segments into fewer packets and fewer packets means fewer drops).
+	Nodes int
+	Kind  string
+	// Per is the per-rank payload in bytes (per slot for allgather, per
+	// segment for multiseg).
+	Per int
+	// Drop is the uniform per-packet drop probability (0 = lossless; the
+	// engines run the reliability layer either way, so a lossless run
+	// measures the framing/ack overhead alone).
+	Drop float64
+	// Strategy overrides the engine strategy ("" = default aggreg).
+	Strategy string
+}
+
+// LossyCollectiveResult is one verified run.
+type LossyCollectiveResult struct {
+	// CompletionUs is the virtual time the last rank finished, in µs.
+	CompletionUs float64
+	// Retransmits sums link-frame re-injections across all ranks.
+	Retransmits int
+}
+
+// LossyCollective runs one collective across an emulated lossy MX
+// fabric with reliability-enabled engines and verifies every delivered
+// payload. The run is fully deterministic in (config, seed).
+func LossyCollective(cfg LossyCollectiveConfig) (LossyCollectiveResult, error) {
+	var res LossyCollectiveResult
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, cfg.Nodes, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		return res, err
+	}
+	if cfg.Drop > 0 {
+		if err := f.SetFaults(simnet.UniformLoss(benchSeed, cfg.Drop, 1)); err != nil {
+			return res, err
+		}
+	}
+	opts := core.DefaultOptions()
+	opts.Reliability = true
+	if cfg.Strategy != "" {
+		opts.Strategy = cfg.Strategy
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	mpis := make([]*madmpi.MPI, cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		m, err := madmpi.Init(f, simnet.NodeID(i), opts)
+		if err != nil {
+			return res, err
+		}
+		mpis[i] = m
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		m := mpis[i]
+		w.Spawn(fmt.Sprintf("rank%d", i), func(p *sim.Proc) {
+			switch cfg.Kind {
+			case "barrier":
+				if err := m.CommWorld().Barrier(p); err != nil {
+					fail(fmt.Errorf("rank %d barrier: %w", m.Rank(), err))
+				}
+			case "allgather":
+				rank := m.Rank()
+				me := make([]byte, cfg.Per)
+				for j := range me {
+					me[j] = byte(rank*131 + j*7)
+				}
+				all := make([]byte, cfg.Nodes*cfg.Per)
+				if err := m.CommWorld().Allgather(p, me, all); err != nil {
+					fail(fmt.Errorf("rank %d allgather: %w", rank, err))
+					return
+				}
+				want := make([]byte, cfg.Per)
+				for r := 0; r < cfg.Nodes; r++ {
+					for j := range want {
+						want[j] = byte(r*131 + j*7)
+					}
+					if !bytes.Equal(all[r*cfg.Per:(r+1)*cfg.Per], want) {
+						fail(fmt.Errorf("rank %d: slot %d corrupt — a payload was lost or duplicated", rank, r))
+						return
+					}
+				}
+			case "multiseg":
+				const segs = 16
+				rank := m.Rank()
+				next := (rank + 1) % cfg.Nodes
+				prev := (rank + cfg.Nodes - 1) % cfg.Nodes
+				c := m.CommWorld()
+				reqs := make([]*madmpi.Request, 0, 2*segs)
+				in := make([][]byte, segs)
+				for s := 0; s < segs; s++ {
+					out := make([]byte, cfg.Per)
+					for j := range out {
+						out[j] = byte(rank*131 + s*17 + j*7)
+					}
+					in[s] = make([]byte, cfg.Per)
+					reqs = append(reqs,
+						c.Irecv(p, in[s], prev, s),
+						c.Isend(p, out, next, s))
+				}
+				if err := madmpi.Waitall(p, reqs...); err != nil {
+					fail(fmt.Errorf("rank %d multiseg: %w", rank, err))
+					return
+				}
+				want := make([]byte, cfg.Per)
+				for s := 0; s < segs; s++ {
+					for j := range want {
+						want[j] = byte(prev*131 + s*17 + j*7)
+					}
+					if !bytes.Equal(in[s], want) {
+						fail(fmt.Errorf("rank %d: segment %d corrupt — a payload was lost or duplicated", rank, s))
+						return
+					}
+				}
+			default:
+				fail(fmt.Errorf("bench: unknown lossy collective %q", cfg.Kind))
+			}
+			if now := float64(p.Now()) / float64(sim.Microsecond); now > res.CompletionUs {
+				res.CompletionUs = now
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		return res, err
+	}
+	if firstErr != nil {
+		return res, firstErr
+	}
+	for _, m := range mpis {
+		res.Retransmits += m.Engine().Stats().Retransmits
+	}
+	return res, nil
+}
+
+// FigScaleNodes sweeps the emulated job size from 8 to 1024 nodes:
+// barrier and allgather completion, lossless vs 1% drop, reliability on
+// throughout. The paper runs on real clusters; this is where the
+// simulation goes beyond them.
+func FigScaleNodes() (Figure, error) {
+	fig := Figure{
+		ID: "scale-nodes", Title: "Scale — collective completion vs emulated job size (MX, reliability on)",
+		XLabel: "nodes", YLabel: "completion (µs)",
+		Notes: []string{
+			"dissemination barrier and 64B-per-rank allgather; every payload verified intact",
+			fmt.Sprintf("fault seed %d; drop applies per packet on the single MX rail", benchSeed),
+		},
+	}
+	nodes := []int{8, 64, 256, 1024}
+	cases := []struct {
+		label string
+		kind  string
+		drop  float64
+	}{
+		{"barrier lossless", "barrier", 0},
+		{"barrier 1% drop", "barrier", 0.01},
+		{"allgather lossless", "allgather", 0},
+		{"allgather 1% drop", "allgather", 0.01},
+	}
+	for _, c := range cases {
+		s := Series{Label: c.label, Strategy: "aggreg"}
+		if c.drop > 0 {
+			s.Seed = benchSeed
+			s.Faults = faultStamp(simnet.UniformLoss(benchSeed, c.drop, 1))
+		}
+		retrans := 0
+		for _, n := range nodes {
+			r, err := LossyCollective(LossyCollectiveConfig{
+				Nodes: n, Kind: c.kind, Per: 64, Drop: c.drop,
+			})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: n, Y: r.CompletionUs})
+			retrans += r.Retransmits
+		}
+		if c.drop > 0 {
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s: %d retransmissions across the sweep", c.label, retrans))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// FigDropResilience sweeps the drop probability on an 8-node 16-segment
+// ring exchange under each strategy: how completion degrades as the
+// fabric gets worse, and whether the optimization window still pays off
+// under loss — aggregation packs segments into fewer packets, and fewer
+// packets means fewer drops to repair.
+func FigDropResilience() (Figure, error) {
+	fig := Figure{
+		ID: "drop-resilience", Title: "Drop resilience — 8-node 16-segment ring exchange (256B/segment) completion vs packet loss (MX)",
+		XLabel: "drop (%)", YLabel: "completion (µs)",
+		Notes: []string{
+			"reliability on; every segment verified intact at every point",
+			fmt.Sprintf("fault seed %d", benchSeed),
+		},
+	}
+	drops := []float64{0, 0.05, 0.10, 0.20, 0.30}
+	for _, strat := range []string{"aggreg", "default", "prio"} {
+		opts := core.DefaultOptions()
+		opts.Strategy = strat
+		opts.Reliability = true
+		s := Series{
+			Label: "MadMPI[" + strat + "]", Strategy: strat,
+			EngineOptions: summarizeOptions(opts),
+			Seed:          benchSeed,
+			Faults:        "drop swept 0..30%",
+		}
+		for _, drop := range drops {
+			r, err := LossyCollective(LossyCollectiveConfig{
+				Nodes: 8, Kind: "multiseg", Per: 256, Drop: drop, Strategy: strat,
+			})
+			if err != nil {
+				return fig, err
+			}
+			s.Points = append(s.Points, Point{X: int(100 * drop), Y: r.CompletionUs})
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}

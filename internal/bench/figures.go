@@ -23,6 +23,8 @@ type Series struct {
 	Label         string  `json:"label"`
 	Strategy      string  `json:"strategy,omitempty"`
 	EngineOptions string  `json:"engine_options,omitempty"`
+	Seed          uint64  `json:"seed,omitempty"`
+	Faults        string  `json:"fault_profile,omitempty"`
 	Points        []Point `json:"points"`
 }
 
@@ -523,6 +525,8 @@ var figureList = []struct {
 	{"ablation-modes", "§3.2 scheduling modes: just-in-time vs anticipation vs backlog flush", AblationModes},
 	{"ablation-composite", "control-message latency inside a bulk stream (priority strategy)", AblationComposite},
 	{"ablation-sampling", "bandwidth sampling under congestion (cold vs warmed split plan)", AblationSampling},
+	{"scale-nodes", "collective completion vs emulated job size, 8..1024 nodes, lossless vs 1% drop", FigScaleNodes},
+	{"drop-resilience", "8-node allgather completion vs packet-drop probability per strategy", FigDropResilience},
 }
 
 // FigureIDs lists the registry keys in stable (sorted) order.

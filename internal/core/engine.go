@@ -56,6 +56,20 @@ type Options struct {
 	// budget instead of growing without limit under overload. Both ends
 	// of a gate must run with the same setting. 0 disables.
 	Credits int
+	// Reliability turns on the link-layer retransmit machinery for lossy
+	// fabrics (simnet.FaultProfile): sequence-checked eager delivery with
+	// ack/timeout/retransmit, rendezvous body progress watchdogs, and
+	// failed-rail detection with mid-flow re-election of survivors (see
+	// reliab.go). Every engine of a cluster must agree on this setting —
+	// the link framing changes the wire format.
+	Reliability bool
+	// RetransmitTimeout is how long an unacknowledged frame waits before
+	// re-injection. 0 means 200µs.
+	RetransmitTimeout sim.Time
+	// RetransmitBudget is how many transmissions one frame may consume on
+	// one rail before the rail is declared failed (when a surviving rail
+	// exists; the last rail retries forever). 0 means 8.
+	RetransmitBudget int
 	// MaxGrants caps the concurrent inbound rendezvous transactions a
 	// node grants; further matched rendezvous requests wait with a
 	// deferred CTS until an active transaction retires. 0 means
@@ -105,6 +119,11 @@ type Engine struct {
 	// NIC-idle hot path instead of a sweep over every gate.
 	pendingCommon int
 	pendingPinned []int
+	// Link-layer reliability per-rail state (Options.Reliability):
+	// failure flag, retransmission tally and probe-in-progress latch.
+	railFailed  []bool
+	railRetrans []int
+	probing     []bool
 
 	gates     map[simnet.NodeID]*Gate
 	gateOrder []*Gate // deterministic iteration
@@ -146,15 +165,33 @@ func New(f *simnet.Fabric, node simnet.NodeID, opts Options) (*Engine, error) {
 			return nil, fmt.Errorf("core: recording an engine with unregistered strategy %q: replay resolves strategies by registry name — register it with sched.Register", strat.Name())
 		}
 	}
+	if opts.Reliability {
+		if opts.RetransmitTimeout <= 0 {
+			opts.RetransmitTimeout = defaultRetransmitTimeout
+		}
+		if opts.RetransmitBudget <= 0 {
+			opts.RetransmitBudget = defaultRetransmitBudget
+		}
+		if opts.BodyChunk <= 0 {
+			// An unchunked rendezvous body can monopolize a directed wire
+			// for longer than the retransmit timeout, starving the acks
+			// queued behind it into spurious retransmissions. Bound the
+			// monopolization so link control interleaves between chunks.
+			opts.BodyChunk = defaultBodyChunkReliable
+		}
+	}
 	opts.Record.RegisterEngine(int(node), trace.NodeConfig{
-		Strategy:         strat.Name(),
-		SubmitOverhead:   opts.SubmitOverhead,
-		ScheduleOverhead: opts.ScheduleOverhead,
-		BodyChunk:        opts.BodyChunk,
-		Anticipate:       opts.Anticipate,
-		FlushBacklog:     opts.FlushBacklog,
-		Credits:          opts.Credits,
-		MaxGrants:        opts.MaxGrants,
+		Strategy:          strat.Name(),
+		SubmitOverhead:    opts.SubmitOverhead,
+		ScheduleOverhead:  opts.ScheduleOverhead,
+		BodyChunk:         opts.BodyChunk,
+		Anticipate:        opts.Anticipate,
+		FlushBacklog:      opts.FlushBacklog,
+		Credits:           opts.Credits,
+		MaxGrants:         opts.MaxGrants,
+		Reliability:       opts.Reliability,
+		RetransmitTimeout: opts.RetransmitTimeout,
+		RetransmitBudget:  opts.RetransmitBudget,
 	})
 	w := f.World()
 	return &Engine{
@@ -185,6 +222,9 @@ func (e *Engine) Attach(drv drivers.Driver) error {
 	e.pendingPinned = append(e.pendingPinned, 0)
 	e.staged = append(e.staged, nil)
 	e.samplers = append(e.samplers, new(railSampler))
+	e.railFailed = append(e.railFailed, false)
+	e.railRetrans = append(e.railRetrans, 0)
+	e.probing = append(e.probing, false)
 	e.stats.PerDriverBytes = append(e.stats.PerDriverBytes, 0)
 	for _, g := range e.gateOrder {
 		g.win.perDriver = append(g.win.perDriver, nil)
@@ -204,6 +244,7 @@ func (e *Engine) AttachFabric(f *simnet.Fabric) error {
 			rails = append(rails, net.Profile())
 		}
 		e.opts.Record.RegisterTopology(f.Nodes(), rails, e.node.Host())
+		e.opts.Record.RegisterFaults(f.Faults())
 	}
 	for _, net := range f.Networks() {
 		drv, err := drivers.New(net, e.node.ID)
@@ -442,7 +483,7 @@ func (e *Engine) elect(drv int) (*Gate, *output) {
 // feeds the rail. The paper's just-in-time property comes from being
 // driven by NIC-idle events rather than by the application.
 func (e *Engine) pump(drv int) {
-	if e.feeding[drv] > 0 || !e.drvs[drv].Poll() {
+	if e.railFailed[drv] || e.feeding[drv] > 0 || !e.drvs[drv].Poll() {
 		return
 	}
 	if st := e.staged[drv]; st != nil {
@@ -481,7 +522,7 @@ type stagedOutput struct {
 // stage pre-elects an output for a busy rail so the next idle event can
 // be answered instantly (§3.2's second scheduling mode).
 func (e *Engine) stage(drv int) {
-	if !e.opts.Anticipate || e.staged[drv] != nil || e.feeding[drv] > 0 || e.drvs[drv].Poll() {
+	if !e.opts.Anticipate || e.railFailed[drv] || e.staged[drv] != nil || e.feeding[drv] > 0 || e.drvs[drv].Poll() {
 		return
 	}
 	g, out := e.elect(drv)
@@ -497,6 +538,9 @@ func (e *Engine) stage(drv int) {
 // (§3.2's third scheduling mode).
 func (e *Engine) flush(g *Gate) {
 	for drv := range e.drvs {
+		if e.railFailed[drv] {
+			continue
+		}
 		for g.win.pending(drv) >= e.opts.FlushBacklog {
 			caps := e.drvs[drv].Caps()
 			e.prepare(g, drv, caps)
@@ -617,6 +661,14 @@ func (e *Engine) send(g *Gate, drv int, out *output) {
 	// would bias the functional-bandwidth estimate low exactly on the
 	// aggregation-heavy trains the adaptive strategy watches.
 	wire := out.wireSize()
+	if e.opts.Reliability {
+		e.linkSend(g, drv, out, segs, payload, wire)
+		e.traceEvent(trace.Depart, g.peer, drv, 0, payload, len(out.entries), "")
+		if e.opts.Anticipate {
+			e.stage(drv)
+		}
+		return
+	}
 	t0 := e.world.Now()
 	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {
 		e.samplers[drv].observe(wire, e.world.Now()-t0)

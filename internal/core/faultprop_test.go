@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// The delivery-integrity property: on the 8-node composite workload —
+// every node streaming bulk chunks, a burst of small multi-flow sends, a
+// large rendezvous transfer and a priority control fragment to its ring
+// neighbor — every payload must arrive exactly once, byte for byte, at
+// its full length, no matter how lossy the fabric is. A dropped packet
+// the link layer fails to repair shows up as a wedge (WaitAll never
+// returns); a truncation as a short RecvRequest.N(); a duplicated or
+// reordered delivery as a content mismatch on the in-order flow.
+func compositeSurvivesDrop(t *testing.T, drop float64, seed uint64) {
+	const (
+		nodes = 8
+		nBulk = 6
+		bulk  = 4 << 10
+		small = 8
+		large = 128 << 10
+	)
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, nodes, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetFaults(simnet.UniformLoss(seed, drop, 1)); err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Reliability = true
+
+	// fill gives every (sender, flow, chunk) a distinct pattern, so a
+	// payload delivered to the wrong slot — or twice — cannot match.
+	fill := func(buf []byte, src, tag, chunk int) {
+		for j := range buf {
+			buf[j] = byte(src*113+tag*29+chunk*17) + byte(j)*7
+		}
+	}
+	const (
+		bulkTag  = Tag(1)
+		ctrlTag  = Tag(2)
+		largeTag = Tag(3)
+		smallTag = Tag(16)
+	)
+
+	engines := make([]*Engine, nodes)
+	for i := 0; i < nodes; i++ {
+		e, err := New(f, simnet.NodeID(i), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AttachFabric(f); err != nil {
+			t.Fatal(err)
+		}
+		engines[i] = e
+	}
+	for i := 0; i < nodes; i++ {
+		me := i
+		next := (i + 1) % nodes
+		prev := (i + nodes - 1) % nodes
+		w.Spawn(fmt.Sprintf("node%d", i), func(p *sim.Proc) {
+			out := engines[me].Gate(simnet.NodeID(next))
+			in := engines[me].Gate(simnet.NodeID(prev))
+
+			var reqs []Request
+			type posted struct {
+				req              *RecvRequest
+				buf              []byte
+				tag, chunk, size int
+			}
+			var recvs []posted
+			post := func(tag Tag, chunk, size int) {
+				buf := make([]byte, size)
+				r := in.Irecv(p, tag, buf)
+				recvs = append(recvs, posted{r, buf, int(tag), chunk, size})
+				reqs = append(reqs, r)
+			}
+			for c := 0; c < nBulk; c++ {
+				post(bulkTag, c, bulk)
+			}
+			for j := 0; j < small; j++ {
+				post(smallTag+Tag(j), 0, 128)
+			}
+			post(ctrlTag, 0, 32)
+			post(largeTag, 0, large)
+
+			for c := 0; c < nBulk; c++ {
+				buf := make([]byte, bulk)
+				fill(buf, me, int(bulkTag), c)
+				reqs = append(reqs, out.Isend(p, bulkTag, buf))
+				switch c {
+				case nBulk / 3:
+					for j := 0; j < small; j++ {
+						buf := make([]byte, 128)
+						fill(buf, me, int(smallTag)+j, 0)
+						reqs = append(reqs, out.Isend(p, smallTag+Tag(j), buf))
+					}
+				case nBulk / 2:
+					ctrl := make([]byte, 32)
+					fill(ctrl, me, int(ctrlTag), 0)
+					reqs = append(reqs, out.Isend(p, ctrlTag, ctrl, Priority()))
+					body := make([]byte, large)
+					fill(body, me, int(largeTag), 0)
+					reqs = append(reqs, out.Isend(p, largeTag, body))
+				}
+			}
+			if err := WaitAll(p, reqs...); err != nil {
+				t.Errorf("node %d: %v", me, err)
+				return
+			}
+			for _, pr := range recvs {
+				if pr.req.N() != pr.size {
+					t.Errorf("node %d tag %d: truncated — got %d of %d bytes",
+						me, pr.tag, pr.req.N(), pr.size)
+				}
+				want := make([]byte, pr.size)
+				fill(want, prev, pr.tag, pr.chunk)
+				if !bytes.Equal(pr.buf, want) {
+					t.Errorf("node %d tag %d chunk %d: payload corrupt (lost, duplicated or misordered delivery)",
+						me, pr.tag, pr.chunk)
+				}
+			}
+		})
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	retrans := 0
+	for i, e := range engines {
+		st := e.Stats()
+		if st.ProtocolErrors != 0 {
+			t.Errorf("node %d: %d protocol errors", i, st.ProtocolErrors)
+		}
+		retrans += st.Retransmits
+	}
+	if drop > 0 && retrans == 0 {
+		t.Errorf("%.0f%% drop produced no retransmissions — faults were not injected", 100*drop)
+	}
+}
+
+func TestCompositeSurvives10PctDrop(t *testing.T) { compositeSurvivesDrop(t, 0.10, 31) }
+func TestCompositeSurvives30PctDrop(t *testing.T) { compositeSurvivesDrop(t, 0.30, 32) }

@@ -42,6 +42,12 @@ type Gate struct {
 	// protoErrs counts receive-path protocol anomalies attributed to
 	// this gate (see Engine.protoErr).
 	protoErrs int
+
+	// Link-layer reliability state (Options.Reliability, see reliab.go):
+	// ltx retains unacknowledged outbound frames, lrx deduplicates
+	// inbound ones and owes the cumulative ack.
+	ltx linkTx
+	lrx linkRx
 }
 
 // Peer returns the remote node the gate connects to.

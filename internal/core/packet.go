@@ -37,6 +37,10 @@ type packet struct {
 	// window of the current scan (see Gate.scanEligible), the same
 	// generation trick as gen.
 	creditStamp uint64
+	// taken flags the wrapper for removal during window.take — a mark on
+	// the wrapper itself instead of a per-call membership map, since take
+	// runs once per elected output on the pump hot path.
+	taken bool
 
 	submittedAt sim.Time
 	// onSent fires when the NIC finishes the physical packet carrying
@@ -147,13 +151,17 @@ func (w *window) scan(driver int, visit func(pw *packet) bool) {
 // take removes the given wrappers from their submission lists. Wrappers
 // not present are ignored (they may have been replaced in place).
 func (w *window) take(pws []*packet) {
-	member := make(map[*packet]bool, len(pws))
 	for _, pw := range pws {
-		member[pw] = true
+		pw.taken = true
 	}
-	w.common = filterOut(w.common, member)
+	w.common = filterOut(w.common)
 	for i := range w.perDriver {
-		w.perDriver[i] = filterOut(w.perDriver[i], member)
+		w.perDriver[i] = filterOut(w.perDriver[i])
+	}
+	// Clear the marks: a wrapper that was replaced in place (and so never
+	// filtered) must not vanish from a later take's sweep by accident.
+	for _, pw := range pws {
+		pw.taken = false
 	}
 }
 
@@ -174,10 +182,11 @@ func (w *window) replace(old, nw *packet) bool {
 	return false
 }
 
-func filterOut(list []*packet, member map[*packet]bool) []*packet {
+// filterOut compacts list, dropping wrappers whose taken mark is set.
+func filterOut(list []*packet) []*packet {
 	out := list[:0]
 	for _, pw := range list {
-		if !member[pw] {
+		if !pw.taken {
 			out = append(out, pw)
 		}
 	}

@@ -35,6 +35,15 @@ type rdvSend struct {
 	body iovec
 	req  *SendRequest
 	left int // chunks not yet fully sent
+
+	// Reliability bookkeeping (Options.Reliability): started marks the
+	// first CTS consumed (a later CTS is a reissue request), done marks
+	// the first full stream-out (RdvCompleted counted once). Under
+	// reliability the state is retired by the receiver's kindDone entry,
+	// not by left reaching 0 — RDMA body fragments can be lost below the
+	// link layer and the receiver may ask for the span again.
+	started bool
+	done    bool
 }
 
 // rdvKey identifies a receiver-side transaction: rendezvous ids are
@@ -50,6 +59,70 @@ type rdvRecv struct {
 	remaining int // granted bytes not yet landed
 	granted   int // bytes the CTS allowed (clamped to the landing area)
 	total     int // full body size the RTS announced
+
+	// spans tracks which byte ranges have landed (Options.Reliability):
+	// re-streamed fragments overlapping an already-covered range count
+	// nothing, so duplicated body traffic can never double-credit
+	// remaining.
+	spans []span
+}
+
+// span is one covered byte range [lo, hi) of a rendezvous body.
+type span struct{ lo, hi int }
+
+// cover merges [lo, hi) into the covered set and returns how many bytes
+// were newly covered. Bodies arrive as a handful of large fragments, so
+// a sorted slice with insertion-merge is plenty.
+func (rr *rdvRecv) cover(lo, hi int) int {
+	if hi > rr.granted {
+		hi = rr.granted // beyond the grant never counts
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return 0
+	}
+	newly := hi - lo
+	nlo, nhi := lo, hi
+	i := 0
+	for i < len(rr.spans) && rr.spans[i].hi < lo {
+		i++
+	}
+	j := i
+	for j < len(rr.spans) && rr.spans[j].lo <= hi {
+		s := rr.spans[j]
+		if olo, ohi := maxInt(s.lo, lo), minInt(s.hi, hi); ohi > olo {
+			newly -= ohi - olo
+		}
+		if s.lo < nlo {
+			nlo = s.lo
+		}
+		if s.hi > nhi {
+			nhi = s.hi
+		}
+		j++
+	}
+	out := make([]span, 0, len(rr.spans)-(j-i)+1)
+	out = append(out, rr.spans[:i]...)
+	out = append(out, span{nlo, nhi})
+	out = append(out, rr.spans[j:]...)
+	rr.spans = out
+	return newly
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // pendingGrant is a matched rendezvous request waiting for a grant slot
@@ -66,6 +139,13 @@ type rdvRecvReq = RecvRequest
 // defaultBodyChunkNonRDMA bounds eager body chunks when the driver
 // reports no usable threshold.
 const defaultBodyChunkNonRDMA = 64 << 10
+
+// defaultBodyChunkReliable bounds body transactions when the link-layer
+// reliability protocol is on and no explicit BodyChunk was configured:
+// acks share the directed wire with body chunks, so one transaction must
+// stay well under the retransmit timeout's worth of wire time (64KB at
+// 10Gb/s ≈ 52µs against the 200µs default timeout).
+const defaultBodyChunkReliable = 64 << 10
 
 // convertToRTS swaps a data wrapper for a rendezvous request in place.
 func (e *Engine) convertToRTS(pw *packet) *packet {
@@ -166,6 +246,32 @@ func (e *Engine) grantRdv(g *Gate, r *RecvRequest, h header) {
 	key := rdvKey{src: g.peer, id: h.aux}
 	e.rdvRecv[key] = &rdvRecv{req: r, remaining: grant, granted: grant, total: int(h.length)}
 	g.pushCtrl(kindCTS, h.tag, uint32(grant), h.aux)
+	if e.opts.Reliability {
+		e.armBodyWatch(g, key, h.tag)
+	}
+}
+
+// armBodyWatch schedules the rendezvous body progress check: if a
+// watched transaction makes no progress over one body-timeout window —
+// RDMA fragments travel below the link layer and can be lost outright —
+// the receiver re-pushes the CTS and the sender re-streams the span
+// (span tracking keeps duplicates harmless).
+func (e *Engine) armBodyWatch(g *Gate, key rdvKey, tag Tag) {
+	rr, ok := e.rdvRecv[key]
+	if !ok {
+		return
+	}
+	last := rr.remaining
+	e.world.After(e.bodyTimeout(), func() {
+		rr, ok := e.rdvRecv[key]
+		if !ok {
+			return // landed (or retired); the watchdog dies with it
+		}
+		if rr.remaining >= last {
+			g.pushCtrl(kindCTS, tag, uint32(rr.granted), key.id)
+		}
+		e.armBodyWatch(g, key, tag)
+	})
 }
 
 // releaseGrants hands freed grant slots to deferred rendezvous requests
@@ -187,14 +293,28 @@ func (e *Engine) onCTS(g *Gate, h header) {
 		e.protoErr(g, fmt.Sprintf("CTS for unknown rendezvous %d", h.aux))
 		return
 	}
-	e.startBody(rs, int(h.length))
+	if rs.started {
+		// A second CTS for a live transaction is the receiver's body
+		// watchdog asking for the span again (fragments were lost below
+		// the link layer). Re-stream the whole grant outside the request
+		// accounting; the receiver's span tracking discards what already
+		// landed.
+		e.stats.BodyReissues++
+		e.traceEvent(trace.Retransmit, g.peer, -1, rs.tag, int(h.length), 0, fmt.Sprintf("rdv %d reissue", rs.id))
+		e.streamBody(rs, int(h.length), true)
+		return
+	}
+	rs.started = true
+	e.streamBody(rs, int(h.length), false)
 }
 
-// startBody distributes the granted bytes per the strategy's plan and
+// streamBody distributes the granted bytes per the strategy's plan and
 // arranges completion accounting. granted may be smaller than the body
 // (the receiver clamped the CTS to its landing area); the excess never
-// leaves the sender.
-func (e *Engine) startBody(rs *rdvSend, granted int) {
+// leaves the sender. A reissued span repeats the wire traffic of the
+// original stream but touches neither the send request nor the chunk
+// countdown — those completed the first time around.
+func (e *Engine) streamBody(rs *rdvSend, granted int, reissue bool) {
 	size := rs.body.total()
 	if granted < size {
 		size = granted
@@ -241,6 +361,9 @@ func (e *Engine) startBody(rs *rdvSend, granted int) {
 		}
 	}
 	if len(chunks) == 0 {
+		if reissue {
+			return
+		}
 		// Zero-length (or zero-granted) body: nothing to stream, retire
 		// the wrapper.
 		rs.req.doneOne()
@@ -249,38 +372,80 @@ func (e *Engine) startBody(rs *rdvSend, granted int) {
 		return
 	}
 
-	rs.req.add(len(chunks))
-	rs.left = len(chunks)
+	if !reissue {
+		rs.req.add(len(chunks))
+		rs.left = len(chunks)
+	}
 	retire := func() {
+		if reissue {
+			return // the original stream owns the countdown
+		}
 		rs.left--
-		if rs.left == 0 {
+		if rs.left != 0 {
+			return
+		}
+		if !rs.done {
+			rs.done = true
 			e.stats.RdvCompleted++
+		}
+		if !e.opts.Reliability {
+			// Under reliability the state must survive a possible reissue
+			// request; the receiver's kindDone entry retires it instead.
 			delete(e.rdvSend, rs.id)
+		}
+	}
+	chunkReq := rs.req
+	if reissue {
+		chunkReq = nil
+	}
+
+	// RDMA chunks are chained per rail: chunk i+1 is handed to the NIC
+	// only when chunk i completes. Submitting the whole body at once
+	// would reserve the directed wire end to end, and anything queued
+	// after it — link-layer acks in particular — would wait out the full
+	// body; under reliability that starvation shows up as spurious
+	// retransmissions. Chained, the wire is never claimed more than one
+	// chunk ahead.
+	rdmaQueues := make(map[int][]chunk)
+	var rdmaOrder []int
+	var sendRdma func(drv int, q []chunk)
+	sendRdma = func(drv int, q []chunk) {
+		c := q[0]
+		rest := q[1:]
+		data := rs.body.slice(c.off, c.len)
+		e.stats.BodyBytes += int64(c.len)
+		e.stats.PerDriverBytes[drv] += int64(c.len)
+		e.stats.WireBytes += int64(c.len)
+		aux := uint64(rs.id)<<32 | uint64(uint32(c.off))
+		req := chunkReq
+		size := c.len
+		t0 := e.world.Now()
+		err := e.drvs[drv].Send(rs.gate.peer, simnet.TxRdma, data, aux, func() {
+			e.samplers[drv].observe(size, e.world.Now()-t0)
+			e.notifyComplete(drv, rs.gate.peer, size, 0, e.world.Now()-t0)
+			if req != nil {
+				req.doneOne()
+			}
+			retire()
+			if len(rest) > 0 {
+				sendRdma(drv, rest)
+			}
+		})
+		if err != nil {
+			panic("core: rendezvous body submit failed: " + err.Error())
 		}
 	}
 
 	for _, c := range chunks {
-		data := rs.body.slice(c.off, c.len)
-		e.stats.BodyBytes += int64(c.len)
 		if c.rdma {
-			e.stats.PerDriverBytes[c.drv] += int64(c.len)
-			e.stats.WireBytes += int64(c.len)
-			aux := uint64(rs.id)<<32 | uint64(uint32(c.off))
-			req := rs.req
-			drv := c.drv
-			size := c.len
-			t0 := e.world.Now()
-			err := e.drvs[c.drv].Send(rs.gate.peer, simnet.TxRdma, data, aux, func() {
-				e.samplers[drv].observe(size, e.world.Now()-t0)
-				e.notifyComplete(drv, rs.gate.peer, size, 0, e.world.Now()-t0)
-				req.doneOne()
-				retire()
-			})
-			if err != nil {
-				panic("core: rendezvous body submit failed: " + err.Error())
+			if _, ok := rdmaQueues[c.drv]; !ok {
+				rdmaOrder = append(rdmaOrder, c.drv)
 			}
+			rdmaQueues[c.drv] = append(rdmaQueues[c.drv], c)
 			continue
 		}
+		data := rs.body.slice(c.off, c.len)
+		e.stats.BodyBytes += int64(c.len)
 		// Non-RDMA rail: the chunk flows through the window as an eager
 		// entry bound for the registered landing buffer.
 		pw := &packet{
@@ -293,15 +458,38 @@ func (e *Engine) startBody(rs *rdvSend, granted int) {
 			size:   uint32(c.len),
 			aux:    rs.id,
 			driver: c.drv,
-			req:    rs.req, // feed retires one unit per chunk entry
-			onSent: retire,
+			req:    chunkReq, // feed retires one unit per chunk entry
+		}
+		if !reissue {
+			pw.onSent = retire
 		}
 		e.submit(pw)
 	}
-	// Retire the unit the original Isend registered, now that the chunk
-	// units carry the completion.
-	rs.req.doneOne()
+	for _, drv := range rdmaOrder {
+		sendRdma(drv, rdmaQueues[drv])
+	}
+	if !reissue {
+		// Retire the unit the original Isend registered, now that the
+		// chunk units carry the completion.
+		rs.req.doneOne()
+	}
 	e.pumpAll()
+}
+
+// onRdvDone retires sender-side rendezvous state when the receiver
+// reports the whole body landed (Options.Reliability; the entry rides a
+// reliable frame, so it arrives exactly once).
+func (e *Engine) onRdvDone(g *Gate, id uint32) {
+	rs, ok := e.rdvSend[id]
+	if !ok {
+		e.protoErr(g, fmt.Sprintf("rdv-done for unknown rendezvous %d", id))
+		return
+	}
+	if !rs.done {
+		rs.done = true
+		e.stats.RdvCompleted++
+	}
+	delete(e.rdvSend, id)
 }
 
 // onBody places an arriving body fragment (zero-copy: no host copy is
@@ -316,7 +504,13 @@ func (e *Engine) onBody(src simnet.NodeID, id uint32, offset int, data []byte) {
 	}
 	r := rr.req
 	r.iov.copyAt(offset, data)
-	rr.remaining -= len(data)
+	if e.opts.Reliability {
+		// Only newly covered bytes count: a re-streamed span overlaps
+		// what already landed and must not double-credit remaining.
+		rr.remaining -= rr.cover(offset, offset+len(data))
+	} else {
+		rr.remaining -= len(data)
+	}
 	if rr.remaining < 0 {
 		e.protoErr(e.Gate(src), fmt.Sprintf("rendezvous %v over-delivered", key))
 		rr.remaining = 0
@@ -324,6 +518,11 @@ func (e *Engine) onBody(src simnet.NodeID, id uint32, offset int, data []byte) {
 	e.traceEvent(trace.RdvBody, src, -1, r.tag, len(data), 0, "")
 	if rr.remaining == 0 {
 		delete(e.rdvRecv, key)
+		if e.opts.Reliability {
+			// Tell the sender it may retire its state (it keeps the body
+			// around for reissue requests until this arrives).
+			e.Gate(src).pushCtrl(kindDone, r.tag, 0, id)
+		}
 		var err error
 		r.n = rr.granted
 		if rr.total > rr.granted {

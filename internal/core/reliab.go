@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// The link-layer reliability machinery (Options.Reliability). The engine
+// normally trusts the fabric; on a lossy one (simnet.FaultProfile) every
+// eager train is framed by one extra kindLink entry prepended to the
+// train: a per-gate frame sequence number plus a piggybacked cumulative
+// ack floor. The receiver deduplicates whole trains by frame sequence
+// before dispatching any entry — the per-flow resequencing above is
+// untouched — and acknowledges with delayed, coalesced floor updates
+// that ride outbound frames for free whenever there are any. Unacked
+// frames are retained (flattened) on the sender and retransmitted on
+// timeout; a frame that exhausts its retransmit budget declares its rail
+// failed: pinned wrappers re-home to the common list, in-flight frames
+// re-issue on a surviving rail, elections skip the rail, and a periodic
+// ping/pong probe rides the dead rail until it answers again.
+//
+// Pure link control (acks, probes) is itself unreliable and travels
+// directly through the driver, below the optimization window: acking an
+// ack would regress, and a lost pure ack is repaired by the next frame
+// or by the sender's retransmit provoking a fresh one.
+//
+// RDMA rendezvous bodies do not travel as trains, so the link layer
+// cannot cover them; rdv.go repairs those with a receiver-side progress
+// watchdog that re-issues the CTS (see armBodyWatch).
+
+// Link entry subkinds, carried in the aux field of a kindLink header.
+const (
+	linkFrameTag = 1 + iota // train is reliable; seq = frame, length = ack floor
+	linkAckTag              // pure ack; length = ack floor
+	linkPingTag             // rail liveness probe
+	linkPongTag             // probe answer
+)
+
+// Default reliability timings (Options.RetransmitTimeout = 0).
+const (
+	defaultRetransmitTimeout = 200 * sim.Microsecond
+	defaultRetransmitBudget  = 8
+	// linkAckDelay is how long the receiver waits before sending a pure
+	// ack, hoping an outbound frame piggybacks the floor instead.
+	linkAckDelay = 2 * sim.Microsecond
+)
+
+// linkFrame is one unacknowledged reliable train, flattened so it can be
+// re-injected verbatim after the original segments' buffers were reused.
+type linkFrame struct {
+	seq      uint32
+	data     []byte // link header + encoded train
+	rail     int    // rail of the last (re)transmission
+	attempts int    // transmissions so far
+}
+
+// linkTx is the sender half of a gate's link state.
+type linkTx struct {
+	nextSeq uint32
+	acked   uint32 // highest cumulative ack floor seen
+	unacked map[uint32]*linkFrame
+}
+
+// linkRx is the receiver half: the cumulative floor (all frames below it
+// arrived) plus the out-of-order set above it.
+type linkRx struct {
+	floor      uint32
+	seen       map[uint32]bool
+	ackPending bool
+	ackGen     uint64 // invalidates stale delayed-ack events
+}
+
+// bodyTimeout is the rendezvous body progress window: generous relative
+// to the frame timeout because a body spans many transactions.
+func (e *Engine) bodyTimeout() sim.Time { return 2 * e.opts.RetransmitTimeout }
+
+// probeInterval paces the ping/pong liveness probe of a failed rail.
+func (e *Engine) probeInterval() sim.Time { return 4 * e.opts.RetransmitTimeout }
+
+// linkHeader encodes one pure link entry.
+func linkHeader(sub uint32, seq uint32, floor uint32) []byte {
+	return encodeHeader(make([]byte, 0, headerSize), header{
+		kind:   kindLink,
+		seq:    SeqNum(seq),
+		length: floor,
+		aux:    sub,
+	})
+}
+
+// linkSend frames one output as a reliable link frame and hands it to
+// the driver: the engine.send path when Options.Reliability is on.
+func (e *Engine) linkSend(g *Gate, drv int, out *output, segs [][]byte, payload, wire int) {
+	if g.ltx.unacked == nil {
+		g.ltx.unacked = make(map[uint32]*linkFrame)
+	}
+	seq := g.ltx.nextSeq
+	g.ltx.nextSeq++
+	hdr := linkHeader(linkFrameTag, seq, g.lrx.floor)
+	// The outbound frame carries the current floor: any pure ack still
+	// pending is now redundant.
+	g.lrx.ackPending = false
+	g.lrx.ackGen++
+
+	// Snapshot the train for retransmission — the payload segments point
+	// into user buffers the application may reuse once the NIC is done.
+	flat := make([]byte, 0, headerSize+wire)
+	flat = append(flat, hdr...)
+	for _, s := range segs {
+		flat = append(flat, s...)
+	}
+	fr := &linkFrame{seq: seq, data: flat, rail: drv, attempts: 1}
+	g.ltx.unacked[seq] = fr
+
+	e.stats.WireBytes += headerSize
+	entries := out.entries
+	t0 := e.world.Now()
+	txSegs := append([][]byte{hdr}, segs...)
+	err := e.drvs[drv].Send(g.peer, simnet.TxEager, txSegs, 0, func() {
+		e.samplers[drv].observe(headerSize+wire, e.world.Now()-t0)
+		e.notifyComplete(drv, g.peer, payload, len(entries), e.world.Now()-t0)
+		for _, pw := range entries {
+			if pw.onSent != nil {
+				pw.onSent()
+			}
+			if pw.req != nil && pw.kind != kindRTS {
+				pw.req.doneOne()
+			}
+		}
+		e.linkArm(g, fr)
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: strategy %s built an unsendable packet: %v", e.strat.Name(), err))
+	}
+}
+
+// linkArm schedules the retransmit check for a frame's current attempt.
+// It runs from the NIC's send-completion callback, not at submission:
+// the ack clock must not start while the frame still waits behind a long
+// wire reservation (a rendezvous body can hold the pair's wire for
+// longer than the whole timeout), or an idle fabric would retransmit
+// spuriously. Simulation events cannot be cancelled, so the check
+// captures the attempt number and no-ops when the frame was acked or
+// re-sent since.
+func (e *Engine) linkArm(g *Gate, fr *linkFrame) {
+	attempt := fr.attempts
+	e.world.After(e.opts.RetransmitTimeout, func() { e.linkExpire(g, fr, attempt) })
+}
+
+// linkExpire fires when a frame's ack did not arrive in time.
+func (e *Engine) linkExpire(g *Gate, fr *linkFrame, attempt int) {
+	if g.ltx.unacked[fr.seq] != fr || fr.attempts != attempt {
+		return // acked, or a newer attempt owns the timer
+	}
+	if fr.attempts >= e.opts.RetransmitBudget {
+		if alt := e.aliveRailExcept(fr.rail); alt < 0 {
+			// No surviving alternative: the last rail is never declared
+			// dead. Keep retrying — on a lossy-but-alive rail this
+			// converges; during an outage it rides it out.
+			fr.attempts = 0
+			e.linkResend(g, fr, fr.rail)
+			return
+		}
+		e.railFail(fr.rail, g.peer)
+		return // railFail re-issued every frame of the rail, this one included
+	}
+	drv := fr.rail
+	if drv < len(e.railFailed) && e.railFailed[drv] {
+		if alt := e.aliveRailExcept(drv); alt >= 0 {
+			drv = alt
+		}
+	}
+	e.linkResend(g, fr, drv)
+}
+
+// linkResend re-injects a retained frame, bypassing the window: the
+// wrappers inside were already elected and accounted once.
+func (e *Engine) linkResend(g *Gate, fr *linkFrame, drv int) {
+	fr.attempts++
+	fr.rail = drv
+	e.stats.Retransmits++
+	e.railRetrans[drv]++
+	e.stats.WireBytes += int64(len(fr.data))
+	e.traceEvent(trace.Retransmit, g.peer, drv, 0, len(fr.data), fr.attempts, fmt.Sprintf("frame %d", fr.seq))
+	err := e.drvs[drv].Send(g.peer, simnet.TxEager, [][]byte{fr.data}, 0, func() { e.linkArm(g, fr) })
+	if err != nil {
+		panic("core: link retransmit failed: " + err.Error())
+	}
+}
+
+// linkOnDelivery intercepts eager trains on a reliable engine. It
+// reports true when the delivery was fully handled here (pure link
+// control, or a duplicate frame); a frame train's entries are dispatched
+// before returning. Trains without a leading link entry fall through to
+// the normal path untouched.
+func (e *Engine) linkOnDelivery(drv int, d simnet.Delivery) bool {
+	h, err := decodeHeader(d.Data)
+	if err != nil || h.kind != kindLink {
+		return false
+	}
+	g := e.Gate(d.Src)
+	switch h.aux {
+	case linkFrameTag:
+		e.linkAckIn(g, h.length, false)
+		e.linkAccept(g, drv, h, d.Data[headerSize:])
+	case linkAckTag:
+		e.linkAckIn(g, h.length, true)
+	case linkPingTag:
+		// Answer on the probed rail itself: a pong proves it works again.
+		e.linkCtl(g, drv, linkPongTag, uint32(h.seq), g.lrx.floor)
+	case linkPongTag:
+		e.railRecover(drv)
+	default:
+		e.protoErr(g, fmt.Sprintf("unknown link subkind %d", h.aux))
+	}
+	return true
+}
+
+// linkAccept deduplicates one reliable frame and dispatches its train.
+func (e *Engine) linkAccept(g *Gate, drv int, h header, train []byte) {
+	if g.lrx.seen == nil {
+		g.lrx.seen = make(map[uint32]bool)
+	}
+	seq := uint32(h.seq)
+	if seq < g.lrx.floor || g.lrx.seen[seq] {
+		// Already delivered: the ack was lost or slow. Re-ack promptly so
+		// the sender stops re-sending.
+		e.linkScheduleAck(g)
+		return
+	}
+	if seq != g.lrx.floor {
+		// Accepted ahead of the gap: the per-flow resequencing above
+		// restores application order, so there is no head-of-line wait.
+		e.stats.ReorderedAccepts++
+	}
+	g.lrx.seen[seq] = true
+	for g.lrx.seen[g.lrx.floor] {
+		delete(g.lrx.seen, g.lrx.floor)
+		g.lrx.floor++
+	}
+	e.linkScheduleAck(g)
+	err := walkEntries(train, func(h header, payload []byte) error {
+		e.dispatch(g.peer, h, payload)
+		return nil
+	})
+	if err != nil {
+		e.protoErr(g, fmt.Sprintf("corrupt packet train on rail %d: %v", drv, err))
+	}
+}
+
+// linkAckIn advances the sender-side ack floor, retiring retained frames.
+func (e *Engine) linkAckIn(g *Gate, floor uint32, explicit bool) {
+	if explicit && floor <= g.ltx.acked {
+		e.stats.DupAcks++
+	}
+	if floor > g.ltx.acked {
+		g.ltx.acked = floor
+	}
+	for seq := range g.ltx.unacked {
+		if seq < floor {
+			delete(g.ltx.unacked, seq)
+		}
+	}
+}
+
+// linkScheduleAck arranges a delayed pure ack, coalescing bursts: one
+// floor update covers every frame that arrived within the window, and an
+// outbound frame in the meantime cancels it (the floor piggybacks).
+func (e *Engine) linkScheduleAck(g *Gate) {
+	if g.lrx.ackPending {
+		return
+	}
+	g.lrx.ackPending = true
+	g.lrx.ackGen++
+	gen := g.lrx.ackGen
+	e.world.After(linkAckDelay, func() {
+		if !g.lrx.ackPending || g.lrx.ackGen != gen {
+			return
+		}
+		g.lrx.ackPending = false
+		drv := e.aliveRail()
+		if drv < 0 {
+			drv = 0
+		}
+		e.linkCtl(g, drv, linkAckTag, 0, g.lrx.floor)
+	})
+}
+
+// linkCtl injects one pure link control entry directly through a driver,
+// below the optimization window. Pure control is unreliable by design.
+func (e *Engine) linkCtl(g *Gate, drv int, sub uint32, seq uint32, floor uint32) {
+	hdr := linkHeader(sub, seq, floor)
+	e.stats.WireBytes += headerSize
+	if err := e.drvs[drv].Send(g.peer, simnet.TxEager, [][]byte{hdr}, 0, nil); err != nil {
+		panic("core: link control send failed: " + err.Error())
+	}
+}
+
+// aliveRail returns the first rail not marked failed, or -1.
+func (e *Engine) aliveRail() int {
+	for i := range e.drvs {
+		if !e.railFailed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// aliveRailExcept returns the first live rail other than x, or -1.
+func (e *Engine) aliveRailExcept(x int) int {
+	for i := range e.drvs {
+		if i != x && !e.railFailed[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// railFail declares a rail dead: a frame exhausted its retransmit budget
+// on it and a surviving rail exists. Pinned window wrappers re-home to
+// the common list, retained frames re-issue elsewhere, elections skip
+// the rail, and a probe starts riding it until the peer answers.
+func (e *Engine) railFail(drv int, peer simnet.NodeID) {
+	if e.railFailed[drv] {
+		return
+	}
+	e.railFailed[drv] = true
+	e.stats.FailedRails++
+	e.traceEvent(trace.RailEvent, peer, drv, 0, 0, 0, "failed")
+	e.staged[drv] = nil
+	alt := e.aliveRailExcept(drv)
+	for _, g := range e.gateOrder {
+		for _, pw := range g.win.perDriver[drv] {
+			pw.driver = AnyDriver
+			g.win.common = append(g.win.common, pw)
+			e.pendingPinned[drv]--
+			e.pendingCommon++
+		}
+		g.win.perDriver[drv] = g.win.perDriver[drv][:0]
+		if alt < 0 {
+			continue
+		}
+		// Re-issue the rail's in-flight frames on the survivor, budget
+		// reset (sorted: map order must not leak into the timeline).
+		var seqs []uint32
+		for seq, fr := range g.ltx.unacked {
+			if fr.rail == drv {
+				seqs = append(seqs, seq)
+			}
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			fr := g.ltx.unacked[seq]
+			fr.attempts = 0
+			e.linkResend(g, fr, alt)
+		}
+	}
+	e.probeRail(drv, peer)
+	e.pumpAll()
+}
+
+// probeRail pings a failed rail until it answers (see railRecover).
+func (e *Engine) probeRail(drv int, peer simnet.NodeID) {
+	if e.probing[drv] {
+		return
+	}
+	e.probing[drv] = true
+	var tick func()
+	tick = func() {
+		if !e.railFailed[drv] {
+			e.probing[drv] = false
+			return
+		}
+		e.linkCtl(e.Gate(peer), drv, linkPingTag, 0, 0)
+		e.world.After(e.probeInterval(), tick)
+	}
+	tick()
+}
+
+// railRecover puts a rail back in service when its probe is answered.
+func (e *Engine) railRecover(drv int) {
+	if drv >= len(e.railFailed) || !e.railFailed[drv] {
+		return
+	}
+	e.railFailed[drv] = false
+	e.stats.RecoveredRails++
+	e.traceEvent(trace.RailEvent, -1, drv, 0, 0, 0, "recovered")
+	e.pumpAll()
+}

@@ -67,6 +67,9 @@ func (e *Engine) onDelivery(drv int, d simnet.Delivery) {
 		e.onBody(d.Src, id, off, d.Data)
 		return
 	}
+	if e.opts.Reliability && e.linkOnDelivery(drv, d) {
+		return
+	}
 	err := walkEntries(d.Data, func(h header, payload []byte) error {
 		e.dispatch(d.Src, h, payload)
 		return nil
@@ -91,6 +94,8 @@ func (e *Engine) dispatch(src simnet.NodeID, h header, payload []byte) {
 		e.onAck(g, h.aux)
 	case kindCredit:
 		e.onCredit(g, int(h.length))
+	case kindDone:
+		e.onRdvDone(g, h.aux)
 	case kindData, kindRTS:
 		if h.flags&FlagUnordered != 0 {
 			e.deliver(g, h, payload)

@@ -56,6 +56,24 @@ type Stats struct {
 	// posted landing area.
 	RdvDeferred  int
 	RdvTruncated int
+	// Link-layer reliability counters (Options.Reliability, reliab.go).
+	// Retransmits counts frame re-injections after an ack timeout;
+	// DupAcks counts explicit acks that did not advance the sender's
+	// floor (the receiver re-confirming — the signature of duplicated or
+	// retransmitted traffic); ReorderedAccepts counts frames accepted
+	// ahead of a sequence gap (the fabric reordered; delivery proceeded,
+	// per-flow resequencing restores application order); BodyReissues
+	// counts rendezvous body spans re-streamed after a receiver progress
+	// timeout re-pushed the CTS.
+	Retransmits      int
+	DupAcks          int
+	ReorderedAccepts int
+	BodyReissues     int
+	// FailedRails counts rails declared dead after a frame exhausted its
+	// retransmit budget; RecoveredRails counts rails brought back by the
+	// ping/pong probe.
+	FailedRails    int
+	RecoveredRails int
 	// ProtocolErrors counts receive-path protocol anomalies (corrupt
 	// trains, duplicate wrappers, unknown rendezvous ids, ...) that were
 	// dropped and counted instead of crashing the node. Per-gate

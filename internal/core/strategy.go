@@ -98,11 +98,13 @@ func wrapperView(pw *packet) sched.Wrapper {
 // pump sweep.
 func (e *Engine) railInfo(drv int) sched.RailInfo {
 	return sched.RailInfo{
-		Index:   drv,
-		Name:    e.drvs[drv].Name(),
-		Caps:    e.drvs[drv].Caps(),
-		Sampled: e.samplers[drv].estimate(),
-		Backlog: e.pendingPinned[drv] + e.pendingCommon,
+		Index:       drv,
+		Name:        e.drvs[drv].Name(),
+		Caps:        e.drvs[drv].Caps(),
+		Sampled:     e.samplers[drv].estimate(),
+		Backlog:     e.pendingPinned[drv] + e.pendingCommon,
+		Failed:      e.railFailed[drv],
+		Retransmits: e.railRetrans[drv],
 	}
 }
 
@@ -139,6 +141,10 @@ func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
 		pw.gen = e.electGen
 		return true
 	})
+	maxSegs := caps.MaxSegments
+	if e.opts.Reliability && maxSegs > 1 {
+		maxSegs-- // one gather slot is spent on the link framing header
+	}
 	var entries []*packet
 	segs := 0
 	for _, w := range el.Wrappers() {
@@ -146,7 +152,7 @@ func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
 		if !ok || pw.gate == nil || pw.gate.eng != e || pw.gen != e.electGen {
 			continue // foreign, stale or duplicated pick
 		}
-		if segs+pw.segCount() > caps.MaxSegments {
+		if segs+pw.segCount() > maxSegs {
 			continue // the rail cannot gather this train; leave it behind
 		}
 		pw.gen = 0
@@ -165,22 +171,38 @@ func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
 // the best single rail.
 func (e *Engine) planBody(size int) []sched.BodyShare {
 	rails := e.railInfos()
-	bp, ok := e.strat.(sched.BodyPlanner)
-	if !ok || len(e.drvs) <= 1 {
-		return sched.SingleRail(rails, size)
+	// Failed rails are withdrawn from the offer: a mid-flow body plan
+	// must re-elect the survivors. RailInfo.Index keeps the original
+	// attach-order value, so shares still address the right driver.
+	alive := rails[:0:0]
+	for _, r := range rails {
+		if !r.Failed {
+			alive = append(alive, r)
+		}
 	}
-	plan := bp.PlanBody(rails, size)
-	if !validPlan(plan, size, len(e.drvs)) {
-		return sched.SingleRail(rails, size)
+	if len(alive) == 0 {
+		alive = rails // cannot happen (the last rail never fails), but never plan over nothing
+	}
+	bp, ok := e.strat.(sched.BodyPlanner)
+	if !ok || len(alive) <= 1 {
+		return sched.SingleRail(alive, size)
+	}
+	plan := bp.PlanBody(alive, size)
+	if !e.validPlan(plan, size) {
+		return sched.SingleRail(alive, size)
 	}
 	return plan
 }
 
-// validPlan checks the BodyPlanner contract.
-func validPlan(plan []sched.BodyShare, size, nRails int) bool {
+// validPlan checks the BodyPlanner contract (and that no share landed on
+// a failed rail).
+func (e *Engine) validPlan(plan []sched.BodyShare, size int) bool {
 	off := 0
 	for _, s := range plan {
-		if s.Rail < 0 || s.Rail >= nRails || s.Offset != off || s.Size <= 0 {
+		if s.Rail < 0 || s.Rail >= len(e.drvs) || s.Offset != off || s.Size <= 0 {
+			return false
+		}
+		if e.railFailed[s.Rail] {
 			return false
 		}
 		off += s.Size

@@ -45,6 +45,8 @@ const (
 	kindChunk                       // rendezvous body fragment on a non-RDMA rail
 	kindAck                         // synchronous-send acknowledgement (header only)
 	kindCredit                      // receive-flow-control replenishment (header only)
+	kindLink                        // link-layer reliability header (header only, see reliab.go)
+	kindDone                        // rendezvous body fully landed (header only)
 )
 
 func (k entryKind) String() string {
@@ -61,6 +63,10 @@ func (k entryKind) String() string {
 		return "ack"
 	case kindCredit:
 		return "credit"
+	case kindLink:
+		return "link"
+	case kindDone:
+		return "rdv-done"
 	default:
 		return fmt.Sprintf("entryKind(%d)", uint8(k))
 	}
@@ -128,7 +134,7 @@ func decodeHeader(data []byte) (header, error) {
 		aux:    binary.LittleEndian.Uint32(data[20:24]),
 	}
 	switch h.kind {
-	case kindData, kindRTS, kindCTS, kindChunk, kindAck, kindCredit:
+	case kindData, kindRTS, kindCTS, kindChunk, kindAck, kindCredit, kindLink, kindDone:
 		return h, nil
 	default:
 		return header{}, fmt.Errorf("%w: unknown entry kind %d", ErrBadWire, data[1])

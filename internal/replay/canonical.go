@@ -28,6 +28,12 @@ type CompositeConfig struct {
 	Strategy  string
 	Credits   int
 	MaxGrants int
+	// Faults, when non-nil, makes the fabric lossy for the live run (the
+	// profile is stamped into the recording header, so replay re-applies
+	// it); Reliability enables the engines' link-layer retransmission —
+	// required for the workload to survive dropped packets.
+	Faults      *simnet.FaultProfile
+	Reliability bool
 }
 
 // CanonicalConfig is the fixed parameter set behind the committed golden
@@ -62,12 +68,18 @@ func RecordComposite(cfg CompositeConfig) (*trace.Recording, error) {
 	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
 		return nil, err
 	}
+	if cfg.Faults != nil {
+		if err := f.SetFaults(*cfg.Faults); err != nil {
+			return nil, err
+		}
+	}
 	opts := core.DefaultOptions()
 	if cfg.Strategy != "" {
 		opts.Strategy = cfg.Strategy
 	}
 	opts.Credits = cfg.Credits
 	opts.MaxGrants = cfg.MaxGrants
+	opts.Reliability = cfg.Reliability
 	opts.Record = rec
 	mk := func(node simnet.NodeID) (*core.Engine, error) {
 		e, err := core.New(f, node, opts)

@@ -1,0 +1,110 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// lossyComposite records the composite workload on a 10%-drop fabric
+// with reliability-enabled engines.
+func lossyComposite(t *testing.T) *trace.Recording {
+	t.Helper()
+	cfg := CanonicalConfig()
+	fp := simnet.UniformLoss(42, 0.10, 1)
+	cfg.Faults = &fp
+	cfg.Reliability = true
+	rec, err := RecordComposite(cfg)
+	if err != nil {
+		t.Fatalf("record lossy composite: %v", err)
+	}
+	return rec
+}
+
+// The fault profile must survive the JSONL round trip: a recording made
+// on a lossy fabric carries everything needed to replay the same loss.
+func TestRecordingCarriesFaultProfile(t *testing.T) {
+	rec := lossyComposite(t)
+	if rec.Header().Faults == nil {
+		t.Fatal("lossy recording has no fault profile in its header")
+	}
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadRecording(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Header().Faults, rec.Header().Faults) {
+		t.Errorf("fault profile did not round-trip:\ngot  %+v\nwant %+v",
+			back.Header().Faults, rec.Header().Faults)
+	}
+	nc, ok := back.Header().Engines[0]
+	if !ok || !nc.Reliability {
+		t.Errorf("engine personality lost the reliability setting: %+v", nc)
+	}
+}
+
+func sumRetransmits(r *Result) int {
+	n := 0
+	for _, s := range r.Stats {
+		n += s.Retransmits
+	}
+	return n
+}
+
+// Replaying a lossy recording re-applies the recorded (seeded) fault
+// profile: the same faults hit the same packets, so two replays produce
+// the event-for-event identical timeline, retransmissions included.
+func TestReplayLossyDeterministic(t *testing.T) {
+	rec := lossyComposite(t)
+	a, err := Run(rec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(rec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sumRetransmits(a) == 0 {
+		t.Error("10% drop replayed without a single retransmission — faults were not re-applied")
+	}
+	if a.Completion != b.Completion {
+		t.Errorf("completion differs: %v vs %v", a.Completion, b.Completion)
+	}
+	if !reflect.DeepEqual(a.TimelineLines(), b.TimelineLines()) {
+		t.Error("two replays of the same lossy recording diverged")
+	}
+	if a.RequestErrors != 0 {
+		t.Errorf("%d requests failed under replayed loss", a.RequestErrors)
+	}
+}
+
+// DisableFaults replays the same load on a lossless fabric: the engines
+// keep their recorded reliability settings but the link layer stays
+// idle, and the run finishes no later than the lossy one.
+func TestReplayDisableFaults(t *testing.T) {
+	rec := lossyComposite(t)
+	lossy, err := Run(rec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(rec, Config{DisableFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := sumRetransmits(clean); n != 0 {
+		t.Errorf("lossless replay retransmitted %d frames", n)
+	}
+	if clean.RequestErrors != 0 {
+		t.Errorf("%d requests failed on the lossless replay", clean.RequestErrors)
+	}
+	if clean.Completion > lossy.Completion {
+		t.Errorf("lossless replay finished later (%v) than the lossy one (%v)",
+			clean.Completion, lossy.Completion)
+	}
+}

@@ -41,6 +41,16 @@ type Config struct {
 	// sends recorded on rails beyond the new set fall back to the common
 	// list.
 	Rails []simnet.Profile
+	// DisableFaults replays a lossy recording on a lossless fabric: the
+	// recorded fault profile in the header is ignored (the engines keep
+	// their recorded reliability settings — an idle link layer does not
+	// change what is delivered, only its ack/framing overhead). By
+	// default the recorded profile is re-applied, and since the injector
+	// is seeded, the same faults hit the same packets — a lossy recording
+	// replays deterministically, retransmissions included. When Rails
+	// overrides the rail set, a recorded per-rail profile still applies
+	// by rail index; indexes beyond the new rail set are ignored.
+	DisableFaults bool
 }
 
 // Result is one replayed run: the schedule the configured engines
@@ -132,6 +142,17 @@ func Run(rec *trace.Recording, cfg Config) (*Result, error) {
 	for _, prof := range rails {
 		if _, err := f.AddNetwork(prof); err != nil {
 			return nil, fmt.Errorf("replay: %w", err)
+		}
+	}
+	if hdr.Faults != nil && !cfg.DisableFaults {
+		fp := *hdr.Faults
+		if len(fp.Rails) > len(rails) {
+			// A rail override shrank the machine below the recorded
+			// profile: apply what still has a rail.
+			fp.Rails = fp.Rails[:len(rails)]
+		}
+		if err := f.SetFaults(fp); err != nil {
+			return nil, fmt.Errorf("replay: recorded fault profile: %w", err)
 		}
 	}
 
@@ -262,14 +283,17 @@ func nodeOptions(hdr trace.RecordingHeader, node int, cfg Config) core.Options {
 	opts := core.DefaultOptions()
 	if nc, ok := hdr.Engines[node]; ok {
 		opts = core.Options{
-			Strategy:         nc.Strategy,
-			SubmitOverhead:   nc.SubmitOverhead,
-			ScheduleOverhead: nc.ScheduleOverhead,
-			BodyChunk:        nc.BodyChunk,
-			Anticipate:       nc.Anticipate,
-			FlushBacklog:     nc.FlushBacklog,
-			Credits:          nc.Credits,
-			MaxGrants:        nc.MaxGrants,
+			Strategy:          nc.Strategy,
+			SubmitOverhead:    nc.SubmitOverhead,
+			ScheduleOverhead:  nc.ScheduleOverhead,
+			BodyChunk:         nc.BodyChunk,
+			Anticipate:        nc.Anticipate,
+			FlushBacklog:      nc.FlushBacklog,
+			Credits:           nc.Credits,
+			MaxGrants:         nc.MaxGrants,
+			Reliability:       nc.Reliability,
+			RetransmitTimeout: nc.RetransmitTimeout,
+			RetransmitBudget:  nc.RetransmitBudget,
 		}
 	}
 	if cfg.Strategy != "" {

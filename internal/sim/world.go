@@ -44,7 +44,7 @@ func (w *World) At(t Time, fn func()) {
 		t = w.now
 	}
 	w.seq++
-	w.queue.push(&event{at: t, seq: w.seq, fn: fn})
+	w.queue.push(event{at: t, seq: w.seq, fn: fn})
 }
 
 // After schedules fn to run d from now. Negative d means now.
@@ -70,18 +70,17 @@ func (e *DeadlockError) Error() string {
 // processes remain blocked when no event can ever wake them, nil otherwise.
 func (w *World) Run() error {
 	w.stopped = false
-	for !w.stopped && w.queue.Len() > 0 {
-		ev := w.queue.pop()
-		if w.limit > 0 && ev.at > w.limit {
+	for !w.stopped && w.queue.len() > 0 {
+		if w.limit > 0 && w.queue.peek().at > w.limit {
 			// Past the horizon: leave the event unfired for a later Run.
-			w.queue.push(ev)
 			w.now = w.limit
 			return nil
 		}
+		ev := w.queue.pop()
 		w.now = ev.at
 		ev.fn()
 	}
-	if w.queue.Len() == 0 && w.live > 0 {
+	if w.queue.len() == 0 && w.live > 0 {
 		return w.deadlock()
 	}
 	return nil

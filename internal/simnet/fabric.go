@@ -39,9 +39,10 @@ func (n *Node) CopyCost(size int) sim.Time {
 // AddNetwork installs one NIC per node for that technology, so a two-rail
 // machine is simply a fabric with two networks.
 type Fabric struct {
-	world *sim.World
-	nodes []*Node
-	nets  []*Network
+	world  *sim.World
+	nodes  []*Node
+	nets   []*Network
+	faults *FaultProfile // installed fault injection, nil = perfect fabric
 }
 
 // NewFabric creates n nodes sharing one world and one host parameter set.
@@ -98,6 +99,7 @@ type Network struct {
 	nics      []*NIC
 	wireFree  map[[2]NodeID]sim.Time // per directed pair: when the channel drains
 	wireScale float64                // effective-bandwidth factor (congestion), 1 = nominal
+	faults    *faultState            // fault injector, nil = perfect rail
 }
 
 // SetWireScale degrades (or restores) the network's effective wire

@@ -1,0 +1,123 @@
+package simnet
+
+import (
+	"testing"
+
+	"nmad/internal/sim"
+)
+
+// lossyRun drives n packets through a single-rail two-node fabric with
+// the given fault profile and reports which submissions were delivered,
+// in delivery order, plus the injector stats.
+func lossyRun(t *testing.T, fp FaultProfile, n int) ([]int, FaultStats) {
+	t.Helper()
+	w := sim.NewWorld()
+	f := NewFabric(w, 2, DefaultHost())
+	net, err := f.AddNetwork(MX10G())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetFaults(fp); err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	net.NIC(1).OnRecv(func(d Delivery) { got = append(got, int(d.Aux)) })
+	nic := net.NIC(0)
+	for i := 0; i < n; i++ {
+		payload := make([]byte, 64)
+		if err := nic.Submit(&Tx{Dst: 1, Kind: TxEager, Segs: [][]byte{payload}, Aux: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return got, net.FaultStats()
+}
+
+func TestFaultsDeterministicAndCounted(t *testing.T) {
+	fp := FaultProfile{Seed: 7, Rails: []RailFaults{{DropProb: 0.2, DupProb: 0.1, ReorderProb: 0.3}}}
+	const n = 400
+	a, sa := lossyRun(t, fp, n)
+	b, sb := lossyRun(t, fp, n)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different delivery counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, delivery %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Fatalf("same seed, different stats: %+v vs %+v", sa, sb)
+	}
+	if sa.Dropped == 0 || sa.Duplicated == 0 || sa.Reordered == 0 {
+		t.Fatalf("expected every fault class at n=%d: %+v", n, sa)
+	}
+	if want := n - sa.Dropped + sa.Duplicated; len(a) != want {
+		t.Fatalf("delivered %d, stats imply %d (%+v)", len(a), want, sa)
+	}
+	// A different seed must produce a different sequence.
+	fp.Seed = 8
+	c, _ := lossyRun(t, fp, n)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced identical fault sequences")
+	}
+}
+
+func TestFaultsReorderActuallyReorders(t *testing.T) {
+	fp := FaultProfile{Seed: 3, Rails: []RailFaults{{ReorderProb: 0.5}}}
+	got, st := lossyRun(t, fp, 200)
+	if len(got) != 200 {
+		t.Fatalf("reorder-only profile lost packets: %d/200", len(got))
+	}
+	out := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			out++
+		}
+	}
+	if out == 0 || st.Reordered == 0 {
+		t.Fatalf("no reordering observed (stats %+v)", st)
+	}
+}
+
+func TestFaultsOutageDropsEverythingInWindow(t *testing.T) {
+	// The outage covers the whole run: nothing may arrive.
+	fp := FaultProfile{Seed: 1, Rails: []RailFaults{{
+		Outages: []Outage{{At: 0, Duration: sim.FromMicroseconds(1e6)}},
+	}}}
+	got, st := lossyRun(t, fp, 50)
+	if len(got) != 0 {
+		t.Fatalf("outage delivered %d packets", len(got))
+	}
+	if st.OutageDropped != 50 {
+		t.Fatalf("outage dropped %d, want 50", st.OutageDropped)
+	}
+}
+
+func TestFaultProfileValidate(t *testing.T) {
+	bad := []FaultProfile{
+		{Rails: []RailFaults{{DropProb: 1.5}}},
+		{Rails: []RailFaults{{DupProb: -0.1}}},
+		{Rails: []RailFaults{{ReorderJitter: -1}}},
+		{Rails: []RailFaults{{Outages: []Outage{{At: 0, Duration: 0}}}}},
+	}
+	for i, fp := range bad {
+		if fp.Validate() == nil {
+			t.Errorf("case %d: bad profile validated", i)
+		}
+	}
+	if err := UniformLoss(1, 0.1, 3).Validate(); err != nil {
+		t.Errorf("uniform loss profile rejected: %v", err)
+	}
+}

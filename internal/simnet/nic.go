@@ -208,15 +208,32 @@ func (n *NIC) startNext() {
 		}
 	})
 
-	// Receiver-side delivery.
+	// Receiver-side delivery, through the fault injector when one is
+	// installed: a drop schedules nothing (the wire time was already
+	// paid above), reorder jitter delays this delivery only, and a
+	// duplicate schedules a second delivery of the same bits.
 	peer := n.net.nics[tx.Dst]
 	src := n.node.ID
-	n.world.At(arrival+p.RecvOverhead, func() {
-		peer.stats.RxPackets++
-		peer.stats.RxBytes += int64(len(data))
-		if peer.onRecv == nil {
-			panic(fmt.Sprintf("simnet: delivery on %s node %d with no receive handler", p.Name, tx.Dst))
+	deliverAt := func(t sim.Time) {
+		n.world.At(t, func() {
+			peer.stats.RxPackets++
+			peer.stats.RxBytes += int64(len(data))
+			if peer.onRecv == nil {
+				panic(fmt.Sprintf("simnet: delivery on %s node %d with no receive handler", p.Name, tx.Dst))
+			}
+			peer.onRecv(Delivery{Src: src, Kind: tx.Kind, Aux: tx.Aux, Data: data})
+		})
+	}
+	if fs := n.net.faults; fs != nil {
+		v := fs.decide(arrival, p.Latency)
+		if !v.deliver {
+			return
 		}
-		peer.onRecv(Delivery{Src: src, Kind: tx.Kind, Aux: tx.Aux, Data: data})
-	})
+		deliverAt(arrival + v.jitter + p.RecvOverhead)
+		if v.duplicate {
+			deliverAt(arrival + v.jitter + v.dupDelay + p.RecvOverhead)
+		}
+		return
+	}
+	deliverAt(arrival + p.RecvOverhead)
 }

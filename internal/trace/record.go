@@ -85,6 +85,12 @@ type NodeConfig struct {
 	FlushBacklog     int      `json:"flush_backlog,omitempty"`
 	Credits          int      `json:"credits,omitempty"`
 	MaxGrants        int      `json:"max_grants,omitempty"`
+	// Link-layer reliability settings (core.Options.Reliability): a
+	// recording made on a lossy fabric replays with the same retransmit
+	// machinery enabled.
+	Reliability       bool     `json:"reliability,omitempty"`
+	RetransmitTimeout sim.Time `json:"retransmit_timeout,omitempty"`
+	RetransmitBudget  int      `json:"retransmit_budget,omitempty"`
 }
 
 // RecordingHeader is the first JSONL line: format tag, version and the
@@ -98,6 +104,10 @@ type RecordingHeader struct {
 	Nodes int              `json:"nodes"`
 	Rails []simnet.Profile `json:"rails"`
 	Host  simnet.Host      `json:"host"`
+	// Faults is the fault profile active on the recorded fabric, nil for
+	// a lossless run. Replay re-applies it (the injector is seeded, so
+	// the same faults hit the same packets) unless asked not to.
+	Faults *simnet.FaultProfile `json:"faults,omitempty"`
 	// Engines maps node id to the engine personality recorded there.
 	Engines map[int]NodeConfig `json:"engines"`
 }
@@ -133,6 +143,18 @@ func (r *Recording) RegisterTopology(nodes int, rails []simnet.Profile, host sim
 	}
 	r.header.Rails = append([]simnet.Profile(nil), rails...)
 	r.header.Host = host
+}
+
+// RegisterFaults records the fabric's fault profile. First registration
+// wins, like RegisterTopology; a nil profile (lossless fabric) records
+// nothing.
+func (r *Recording) RegisterFaults(fp *simnet.FaultProfile) {
+	if r == nil || r.header.Faults != nil || fp == nil {
+		return
+	}
+	cp := *fp
+	cp.Rails = append([]simnet.RailFaults(nil), fp.Rails...)
+	r.header.Faults = &cp
 }
 
 // RegisterEngine records the engine personality of one node.

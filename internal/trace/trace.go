@@ -44,13 +44,18 @@ const (
 	// ProtoError: a receive-path protocol anomaly was counted and
 	// dropped instead of crashing the node.
 	ProtoError
+	// Retransmit: the reliability layer re-sent an unacknowledged frame
+	// (or re-issued a rendezvous body span).
+	Retransmit
+	// RailEvent: a rail changed liveness (Note: "failed" / "recovered").
+	RailEvent
 	nKinds
 )
 
 var kindNames = [nKinds]string{
 	"submit", "elect", "depart", "arrive", "deliver",
 	"unexpected", "rdv-start", "rdv-grant", "rdv-body", "complete",
-	"proto-error",
+	"proto-error", "retransmit", "rail-event",
 }
 
 func (k Kind) String() string {

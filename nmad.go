@@ -85,6 +85,15 @@ type (
 	Host    = simnet.Host
 	// NodeID identifies a host in the fabric.
 	NodeID = simnet.NodeID
+
+	// FaultProfile is a seeded description of how lossy the fabric is
+	// (WithFaults); RailFaults holds one rail's drop/duplicate/reorder
+	// probabilities and Outage its scheduled dark windows. FaultStats
+	// counts what the injector actually did to one network.
+	FaultProfile = simnet.FaultProfile
+	RailFaults   = simnet.RailFaults
+	Outage       = simnet.Outage
+	FaultStats   = simnet.FaultStats
 )
 
 // Re-exported constants and constructors.
@@ -134,6 +143,9 @@ var (
 	ProfileByName = simnet.ProfileByName
 	// DefaultHost is the paper's 2006 Opteron host model.
 	DefaultHost = simnet.DefaultHost
+	// UniformLoss builds the simplest fault profile: the same drop
+	// probability on every rail, no duplication, reordering or outages.
+	UniformLoss = simnet.UniformLoss
 
 	// MAD-MPI datatype constructors.
 	Contiguous = madmpi.Contiguous
@@ -194,6 +206,8 @@ const (
 	TraceRdvStart   = trace.RdvStart
 	TraceRdvGrant   = trace.RdvGrant
 	TraceRdvBody    = trace.RdvBody
+	TraceRetransmit = trace.Retransmit
+	TraceRailEvent  = trace.RailEvent
 )
 
 // Cluster bundles a simulation world and a fabric: the "machine" a
@@ -223,6 +237,11 @@ func NewCluster(n int, opts ...ClusterOption) (*Cluster, error) {
 	f := simnet.NewFabric(w, n, cfg.host)
 	for _, prof := range cfg.rails {
 		if _, err := f.AddNetwork(prof); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.faults != nil {
+		if err := f.SetFaults(*cfg.faults); err != nil {
 			return nil, err
 		}
 	}

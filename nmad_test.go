@@ -330,3 +330,56 @@ func TestFacadeCollectiveOptionsAndRegistry(t *testing.T) {
 		t.Errorf("unknown forced algorithm: err = %v, want ErrCollAlgo", err)
 	}
 }
+
+// TestFacadeLossyCluster drives the fault-injection and reliability
+// options end to end through the facade: a cluster built lossy with
+// WithFaults, engines running the link layer via WithReliability, and
+// every payload checked on arrival.
+func TestFacadeLossyCluster(t *testing.T) {
+	cl, err := nmad.NewCluster(2, nmad.WithFaults(nmad.UniformLoss(5, 0.20, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0, err := cl.Engine(0, nmad.WithReliability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := cl.Engine(1, nmad.WithReliability())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	mk := func(i int) []byte {
+		buf := make([]byte, 512)
+		for j := range buf {
+			buf[j] = byte(i*37) + byte(j)*11
+		}
+		return buf
+	}
+	cl.Spawn("send", func(p *nmad.Proc) {
+		for i := 0; i < n; i++ {
+			if err := e0.Gate(1).Send(p, nmad.Tag(i+1), mk(i)); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	})
+	cl.Spawn("recv", func(p *nmad.Proc) {
+		buf := make([]byte, 512)
+		for i := 0; i < n; i++ {
+			got, err := e1.Gate(0).Recv(p, nmad.Tag(i+1), buf)
+			if err != nil {
+				t.Errorf("recv %d: %v", i, err)
+				return
+			}
+			if got != 512 || !bytes.Equal(buf, mk(i)) {
+				t.Errorf("message %d arrived corrupt or truncated (%d bytes)", i, got)
+			}
+		}
+	})
+	if err := cl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e0.Stats().Retransmits == 0 {
+		t.Error("20% drop produced no retransmissions — WithFaults did not reach the fabric")
+	}
+}

@@ -19,8 +19,9 @@ import (
 
 // clusterConfig is the resolved NewCluster configuration.
 type clusterConfig struct {
-	rails []Profile
-	host  simnet.Host
+	rails  []Profile
+	host   simnet.Host
+	faults *simnet.FaultProfile
 }
 
 // ClusterOption configures NewCluster.
@@ -35,6 +36,18 @@ func WithRails(profiles ...Profile) ClusterOption {
 // WithHost overrides the node host model (memcpy bandwidth etc.).
 func WithHost(h Host) ClusterOption {
 	return func(c *clusterConfig) { c.host = h }
+}
+
+// WithFaults makes the fabric lossy: the profile's seeded per-rail
+// drop/duplicate/reorder probabilities and scheduled outages apply to
+// every packet injected. Same profile, same workload ⇒ the same faults,
+// bit for bit. Pair it with WithReliability on every engine, or lost
+// packets become lost messages:
+//
+//	cl, _ := nmad.NewCluster(8, nmad.WithFaults(nmad.UniformLoss(42, 0.05, 1)))
+//	e, _ := cl.Engine(0, nmad.WithReliability())
+func WithFaults(fp FaultProfile) ClusterOption {
+	return func(c *clusterConfig) { c.faults = &fp }
 }
 
 // EngineOption configures one engine (or the engine under an MPI rank).
@@ -174,6 +187,32 @@ func WithCredits(n int) EngineOption {
 // one receiver.
 func WithMaxGrants(n int) EngineOption {
 	return func(c *engineConfig) { c.MaxGrants = n }
+}
+
+// WithReliability enables the engine's link-layer reliability protocol:
+// sequence-checked delivery with ack/timeout/retransmission for eager
+// trains, watchdog-driven reissue for rendezvous bodies, and failover of
+// pinned traffic off a rail whose frames exhaust their retransmit budget
+// (see the package documentation's "Fault injection and reliability").
+// The link framing changes the wire format, so every engine of a cluster
+// must agree on this setting.
+func WithReliability() EngineOption {
+	return func(c *engineConfig) { c.Reliability = true }
+}
+
+// WithRetransmitTimeout sets how long an unacknowledged link frame waits
+// before it is re-injected (default 200µs). Implies nothing unless
+// WithReliability is set.
+func WithRetransmitTimeout(d Time) EngineOption {
+	return func(c *engineConfig) { c.RetransmitTimeout = d }
+}
+
+// WithRetransmitBudget sets how many re-injections one frame may cost
+// before its rail is declared failed and surviving rails take over the
+// traffic (default 8). On the last surviving rail the budget resets
+// instead — the engine retries forever rather than lose data.
+func WithRetransmitBudget(n int) EngineOption {
+	return func(c *engineConfig) { c.RetransmitBudget = n }
 }
 
 // WithCollAlgo pins the collective algorithm used for one collective

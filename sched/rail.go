@@ -30,6 +30,15 @@ type RailInfo struct {
 	// backlog signal that drives the engine's flush scheduling mode,
 	// made visible so strategies can react to queue build-up.
 	Backlog int
+	// Failed reports that the engine's reliability layer declared this
+	// rail dead (a frame exhausted its retransmit budget on it). The
+	// engine never offers a failed rail for election or body planning;
+	// the flag lets strategies see why their rail set shrank.
+	Failed bool
+	// Retransmits is how many link-layer frame re-injections this rail
+	// has cost so far — a functional-characteristics loss signal
+	// strategies can weigh against the sampled bandwidth.
+	Retransmits int
 }
 
 // Bandwidth is the figure strategies should plan with: the sampled

@@ -1,0 +1,154 @@
+// Command nmad-sim runs declarative cluster workload scenarios: YAML
+// files describing a machine, a timeline of workload phases, mid-run
+// events (rail degradation, outages, node slowdowns, credit squeezes)
+// and assertions over the outcome.
+//
+// Usage:
+//
+//	nmad-sim run scenario.yaml...            # run, print reports
+//	nmad-sim run -record out.jsonl s.yaml    # also capture the offered load
+//	nmad-sim run -v s.yaml                   # stream phase/event progress
+//	nmad-sim validate scenario.yaml...       # parse + validate only
+//	nmad-sim list scenarios/                 # one line per scenario in a dir
+//
+// `run` executes each scenario and prints its report; any assertion
+// failure, incomplete phase or engine error makes the exit status 1.
+// `validate` classifies every mistake in each file (syntax, schema,
+// unknown action, bad target, overlapping phases, assertion on an
+// undeclared checkpoint, ...) without running anything. `-record`
+// writes the PR-5 record/replay format, stamped with the scenario name
+// and fault seed, replayable through nmad-replay (one scenario per
+// invocation when recording).
+//
+// Exit status: 0 all good, 1 scenario failures, 2 usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nmad"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "run":
+		os.Exit(cmdRun(os.Args[2:]))
+	case "validate":
+		os.Exit(cmdValidate(os.Args[2:]))
+	case "list":
+		os.Exit(cmdList(os.Args[2:]))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: nmad-sim <command> [flags] args...
+
+  run [-record out.jsonl] [-v] scenario.yaml...   run scenarios, print reports
+  validate scenario.yaml...                       parse and validate only
+  list dir                                        one line per scenario in a directory`)
+	os.Exit(2)
+}
+
+func cmdRun(args []string) int {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	record := fs.String("record", "", "capture the offered load into this JSONL recording (single scenario only)")
+	verbose := fs.Bool("v", false, "stream phase/event progress while running")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		usage()
+	}
+	if *record != "" && fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "nmad-sim: -record takes exactly one scenario (one recording per run)")
+		return 2
+	}
+
+	status := 0
+	for _, path := range fs.Args() {
+		sc, err := nmad.LoadScenario(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmad-sim: %v\n", err)
+			return 2
+		}
+		cfg := nmad.ScenarioConfig{}
+		if *verbose {
+			cfg.Verbose = os.Stdout
+		}
+		var rec *nmad.Recording
+		if *record != "" {
+			rec = nmad.NewRecording()
+			cfg.Record = rec
+		}
+		rep, err := nmad.RunScenario(sc, cfg)
+		if rep != nil {
+			rep.Write(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmad-sim: %v\n", err)
+			status = 1
+		}
+		if rec != nil {
+			f, err := os.Create(*record)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nmad-sim: %v\n", err)
+				return 2
+			}
+			werr := rec.Write(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				fmt.Fprintf(os.Stderr, "nmad-sim: writing %s: %v\n", *record, werr)
+				return 2
+			}
+			fmt.Printf("recorded %d operations to %s (scenario %s, seed %s)\n",
+				rec.Len(), *record, rec.Meta("scenario"), rec.Meta("seed"))
+		}
+	}
+	return status
+}
+
+func cmdValidate(args []string) int {
+	if len(args) == 0 {
+		usage()
+	}
+	status := 0
+	for _, path := range args {
+		if _, err := nmad.LoadScenario(path); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			status = 1
+			continue
+		}
+		fmt.Printf("%s: ok\n", path)
+	}
+	return status
+}
+
+func cmdList(args []string) int {
+	if len(args) != 1 {
+		usage()
+	}
+	scs, bad := nmad.ListScenarioDir(args[0])
+	for _, sc := range scs {
+		fmt.Printf("%-24s %d nodes, %d phases, %d events, %d assertions  %s\n",
+			sc.Name, sc.Cluster.Nodes, len(sc.Phases), len(sc.Events), len(sc.Assertions), sc.Description)
+	}
+	status := 0
+	names := make([]string, 0, len(bad))
+	for name := range bad {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, bad[name])
+		status = 1
+	}
+	return status
+}

@@ -95,9 +95,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	regressions, compared := compare(oldFigs, newFigs, *threshold, thresholds)
+	regressions, figLines, compared := compare(oldFigs, newFigs, *threshold, thresholds)
 	fmt.Printf("nmad-trend: %s -> %s: %d points compared, %d regressions (default threshold %.0f%%)\n",
 		oldPath, newPath, compared, len(regressions), (*threshold-1)*100)
+	for _, l := range figLines {
+		fmt.Println("  " + l)
+	}
 	for _, r := range regressions {
 		fmt.Println("  REGRESSION " + r)
 	}
@@ -126,8 +129,11 @@ func loadFigures(path string) ([]nmad.BenchFigure, error) {
 
 // compare walks every (figure, series label, x) present in both files
 // and reports the points whose metric grew beyond the figure's
-// threshold (falling back to the global default).
-func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perFigure map[string]float64) (regressions []string, compared int) {
+// threshold (falling back to the global default). Each compared figure
+// gets one summary line naming the threshold that was applied to it, so
+// the log always shows which band a figure was held to — the built-in
+// loose bands on the lossy figures in particular.
+func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perFigure map[string]float64) (regressions, figLines []string, compared int) {
 	oldByID := map[string]nmad.BenchFigure{}
 	for _, f := range oldFigs {
 		oldByID[f.ID] = f
@@ -138,8 +144,10 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perF
 			continue
 		}
 		threshold := defaultThreshold
+		source := "default"
 		if t, ok := perFigure[nf.ID]; ok {
 			threshold = t
+			source = "per-figure"
 		}
 		oldSeries := map[string]map[int]float64{}
 		for _, s := range of.Series {
@@ -149,6 +157,7 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perF
 			}
 			oldSeries[s.Label] = pts
 		}
+		figCompared := 0
 		for _, s := range nf.Series {
 			pts, ok := oldSeries[s.Label]
 			if !ok {
@@ -159,16 +168,22 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perF
 				if !ok || oldY <= 0 {
 					continue
 				}
-				compared++
+				figCompared++
 				if ratio := pt.Y / oldY; ratio > threshold {
 					regressions = append(regressions, fmt.Sprintf(
-						"figure %s, %s @ x=%d: %.2f -> %.2f (%.0f%% worse)",
-						nf.ID, s.Label, pt.X, oldY, pt.Y, (ratio-1)*100))
+						"figure %s, %s @ x=%d: %.2f -> %.2f (%.0f%% worse, threshold %.0f%%)",
+						nf.ID, s.Label, pt.X, oldY, pt.Y, (ratio-1)*100, (threshold-1)*100))
 				}
 			}
 		}
+		if figCompared > 0 {
+			figLines = append(figLines, fmt.Sprintf(
+				"figure %-16s %3d points, threshold %.0f%% (%s)",
+				nf.ID, figCompared, (threshold-1)*100, source))
+		}
+		compared += figCompared
 	}
-	return regressions, compared
+	return regressions, figLines, compared
 }
 
 // autoDiscover picks the two highest-numbered BENCH_PR<N>.json files in

@@ -173,6 +173,27 @@
 // bump the version. cmd/nmad-trace -record writes a recording;
 // cmd/nmad-replay re-drives one (-strategy, -ab, -credits, -grants).
 //
+// # Declarative scenarios
+//
+// A scenario file is a YAML description of a whole cluster experiment:
+// the machine (nodes, rails by profile name, engine personality, seeded
+// fault profile), a timeline of workload phases (pingpong, ring,
+// incast, composite bulk+control, and the collectives) interleaved with
+// mid-run events (rail degradation and restoration, outages, fault-rate
+// changes, node slowdown, credit squeezes, named checkpoints), and
+// assertions over the outcome — any Stats counter, per-rail fault
+// counters, completion-time bounds, payload integrity, phase ordering.
+// cmd/nmad-sim runs, validates and lists scenario files; the committed
+// corpus under scenarios/ is run green by CI, so each file is an
+// executable regression test. Runs are byte-deterministic for a fixed
+// seed, and nmad-sim run -record captures the offered load as a
+// recording stamped with the scenario name and seed, replayable through
+// cmd/nmad-replay. LoadScenario, ParseScenario, ValidateScenario,
+// RunScenario and ListScenarioDir expose the harness programmatically,
+// with typed errors (ScenarioErrUnknownAction, ScenarioErrBadTarget,
+// ScenarioErrPhaseOverlap, ...) classifying every way a file can be
+// wrong. The format reference lives in internal/scenario.
+//
 // # Layout
 //
 //   - package nmad (this package): the facade — Cluster assembly,
@@ -198,6 +219,8 @@
 //     trace-event export) and the versioned record/replay format.
 //   - internal/replay: re-drives a recording under any strategy, credit
 //     budget or rail set; golden-timeline determinism tests.
+//   - internal/scenario: the declarative scenario harness — YAML-subset
+//     parser, validation, phase workloads, mid-run events, assertions.
 //   - internal/baseline: MPICH-like and OpenMPI-like comparators.
 //   - internal/bench: the harness regenerating every evaluation figure.
 //

@@ -70,6 +70,14 @@ type Options struct {
 	// one rail before the rail is declared failed (when a surviving rail
 	// exists; the last rail retries forever). 0 means 8.
 	RetransmitBudget int
+	// ProbeBudget bounds the ping/pong liveness probe of a failed rail:
+	// after this many unanswered pings the engine gives the rail up for
+	// good and stops probing, so a run over a permanently dead rail
+	// terminates on its own instead of rescheduling probe events forever
+	// (which forces callers onto RunUntil horizons). A late pong still
+	// recovers an abandoned rail if one ever arrives. 0 means probe
+	// forever (the historical behaviour).
+	ProbeBudget int
 	// MaxGrants caps the concurrent inbound rendezvous transactions a
 	// node grants; further matched rendezvous requests wait with a
 	// deferred CTS until an active transaction retires. 0 means
@@ -139,6 +147,12 @@ type Engine struct {
 	syncAcks   map[uint32]*SendRequest // synchronous sends awaiting the ack
 	nextSyncID uint32
 
+	// creditFreeze suspends credit replenishment (FreezeCredits): the
+	// receive side keeps tallying consumed wrappers but sends no credit
+	// entries, so senders run their budgets dry — the scenario harness's
+	// credit-squeeze event.
+	creditFreeze bool
+
 	cond  *sim.Cond
 	stats Stats
 }
@@ -192,6 +206,7 @@ func New(f *simnet.Fabric, node simnet.NodeID, opts Options) (*Engine, error) {
 		Reliability:       opts.Reliability,
 		RetransmitTimeout: opts.RetransmitTimeout,
 		RetransmitBudget:  opts.RetransmitBudget,
+		ProbeBudget:       opts.ProbeBudget,
 	})
 	w := f.World()
 	return &Engine{

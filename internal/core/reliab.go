@@ -362,18 +362,31 @@ func (e *Engine) railFail(drv int, peer simnet.NodeID) {
 	e.pumpAll()
 }
 
-// probeRail pings a failed rail until it answers (see railRecover).
+// probeRail pings a failed rail until it answers (see railRecover) or,
+// with Options.ProbeBudget set, until the budget of unanswered pings is
+// spent — at which point the rail is abandoned: probing stops, the rail
+// stays failed, and the run can terminate without a RunUntil horizon. A
+// recovery (railRecover) resets the count, so the budget is per failure
+// episode, not per rail lifetime.
 func (e *Engine) probeRail(drv int, peer simnet.NodeID) {
 	if e.probing[drv] {
 		return
 	}
 	e.probing[drv] = true
+	sent := 0
 	var tick func()
 	tick = func() {
 		if !e.railFailed[drv] {
 			e.probing[drv] = false
 			return
 		}
+		if e.opts.ProbeBudget > 0 && sent >= e.opts.ProbeBudget {
+			e.probing[drv] = false
+			e.stats.AbandonedRails++
+			e.traceEvent(trace.RailEvent, peer, drv, 0, 0, sent, "abandoned")
+			return
+		}
+		sent++
 		e.linkCtl(e.Gate(peer), drv, linkPingTag, 0, 0)
 		e.world.After(e.probeInterval(), tick)
 	}

@@ -270,3 +270,49 @@ func TestReliableSeededDeterminism(t *testing.T) {
 		t.Errorf("lossy run shows no retransmits: %s", fmt.Sprintf("%+v", a0))
 	}
 }
+
+func TestProbeBudgetAbandonsPermanentOutage(t *testing.T) {
+	// Rail 1 never comes back. Without Options.ProbeBudget the recovery
+	// probe reschedules itself forever and World.Run never returns (the
+	// regression this test pins down); with a budget the probe gives the
+	// rail up after N unanswered pings and the world drains on its own —
+	// no RunUntil horizon needed.
+	opts := DefaultOptions()
+	opts.RetransmitTimeout = 100 * sim.Microsecond
+	opts.RetransmitBudget = 3
+	opts.ProbeBudget = 5
+	fp := simnet.FaultProfile{Seed: 3, Rails: []simnet.RailFaults{
+		{},
+		{Outages: []simnet.Outage{{At: 0, Duration: 1000 * sim.Second}}},
+	}}
+	w, e0, e1 := lossyPair(t, opts, fp, simnet.MX10G(), simnet.MX10G())
+	msg := make([]byte, 512)
+	fillSeq(msg, 1)
+	w.Spawn("send", func(p *sim.Proc) {
+		// Pinned to the dead rail: must still arrive via failover.
+		if err := e0.Gate(1).Isend(p, 9, msg, OnRail(1)).Wait(p); err != nil {
+			t.Errorf("pinned send during permanent outage: %v", err)
+		}
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		buf := make([]byte, 512)
+		got, err := e1.Gate(0).Recv(p, 9, buf)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if got != len(msg) || !bytes.Equal(buf[:got], msg) {
+			t.Fatal("corrupt payload after failover")
+		}
+	})
+	run(t, w) // plain Run: terminates only if the probe gives up
+	st := e0.Stats()
+	if st.FailedRails != 1 {
+		t.Errorf("FailedRails = %d, want 1", st.FailedRails)
+	}
+	if st.AbandonedRails != 1 {
+		t.Errorf("AbandonedRails = %d, want 1", st.AbandonedRails)
+	}
+	if st.RecoveredRails != 0 {
+		t.Errorf("RecoveredRails = %d, want 0 (the rail never answered)", st.RecoveredRails)
+	}
+}

@@ -219,13 +219,36 @@ func (e *Engine) returnCredit(g *Gate) {
 		return
 	}
 	g.creditOwed++
-	if g.creditOwed < creditBatch(e.opts.Credits) {
+	if e.creditFreeze || g.creditOwed < creditBatch(e.opts.Credits) {
 		return
 	}
 	n := g.creditOwed
 	g.creditOwed = 0
 	e.stats.CreditsSent++
 	g.pushCtrl(kindCredit, 0, uint32(n), 0)
+}
+
+// FreezeCredits suspends (on = true) or resumes credit replenishment on
+// this node. While frozen, consumed eager wrappers are tallied but no
+// credit entries go out, so every peer's sending budget toward this node
+// runs dry and its excess backlog waits in its own collect layer — a
+// controlled receiver-side squeeze. Resuming flushes everything owed at
+// once. Only meaningful with Options.Credits set; the scenario harness
+// drives this for its credit-squeeze events.
+func (e *Engine) FreezeCredits(on bool) {
+	e.creditFreeze = on
+	if on || e.opts.Credits == 0 {
+		return
+	}
+	for _, g := range e.gateOrder {
+		if g.creditOwed == 0 {
+			continue
+		}
+		n := g.creditOwed
+		g.creditOwed = 0
+		e.stats.CreditsSent++
+		g.pushCtrl(kindCredit, 0, uint32(n), 0)
+	}
 }
 
 // creditBatch is how many consumed wrappers accumulate before a

@@ -71,9 +71,12 @@ type Stats struct {
 	BodyReissues     int
 	// FailedRails counts rails declared dead after a frame exhausted its
 	// retransmit budget; RecoveredRails counts rails brought back by the
-	// ping/pong probe.
+	// ping/pong probe; AbandonedRails counts failure episodes whose probe
+	// spent its Options.ProbeBudget without an answer and gave the rail
+	// up for good.
 	FailedRails    int
 	RecoveredRails int
+	AbandonedRails int
 	// ProtocolErrors counts receive-path protocol anomalies (corrupt
 	// trains, duplicate wrappers, unknown rendezvous ids, ...) that were
 	// dropped and counted instead of crashing the node. Per-gate

@@ -294,6 +294,7 @@ func nodeOptions(hdr trace.RecordingHeader, node int, cfg Config) core.Options {
 			Reliability:       nc.Reliability,
 			RetransmitTimeout: nc.RetransmitTimeout,
 			RetransmitBudget:  nc.RetransmitBudget,
+			ProbeBudget:       nc.ProbeBudget,
 		}
 	}
 	if cfg.Strategy != "" {

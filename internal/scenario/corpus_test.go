@@ -1,0 +1,33 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCommittedCorpus validates and runs every scenario committed under
+// scenarios/ at the repository root — the same sweep the CI scenarios
+// job performs through nmad-sim. A corpus file whose assertions fail is
+// a regression in either the scenario or the engine.
+func TestCommittedCorpus(t *testing.T) {
+	scs, bad := ListDir("../../scenarios")
+	for name, err := range bad {
+		t.Errorf("%s: %v", name, err)
+	}
+	if len(scs) < 6 {
+		t.Fatalf("corpus holds %d scenarios, want at least 6", len(scs))
+	}
+	for _, sc := range scs {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			rep, err := Run(sc, Config{})
+			if err != nil {
+				var buf bytes.Buffer
+				if rep != nil {
+					rep.Write(&buf)
+				}
+				t.Fatalf("%v\n%s", err, buf.String())
+			}
+		})
+	}
+}

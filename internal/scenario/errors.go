@@ -1,0 +1,44 @@
+package scenario
+
+import "errors"
+
+// The typed error taxonomy of the scenario harness. Every parse and
+// validation failure wraps exactly one of these sentinels, so callers
+// (and tests) classify failures with errors.Is instead of string
+// matching, and `nmad-sim validate` can report what KIND of mistake a
+// file holds.
+var (
+	// ErrSyntax: the file is not parseable scenario YAML (bad
+	// indentation, unterminated quote, unsupported construct).
+	ErrSyntax = errors.New("scenario: syntax error")
+	// ErrSchema: the document parsed but does not fit the scenario
+	// schema — an unknown field, a wrong type, a missing required key.
+	ErrSchema = errors.New("scenario: schema error")
+	// ErrBadValue: a field has the right type but an impossible value
+	// (a probability outside [0,1], a zero-node cluster, an unknown
+	// rail profile or stats field).
+	ErrBadValue = errors.New("scenario: bad value")
+	// ErrUnknownPhase: a phase declares a workload kind the harness
+	// does not implement.
+	ErrUnknownPhase = errors.New("scenario: unknown phase kind")
+	// ErrUnknownAction: an event declares an action the harness does
+	// not implement.
+	ErrUnknownAction = errors.New("scenario: unknown event action")
+	// ErrUnknownAssert: an assertion declares a type the harness does
+	// not implement.
+	ErrUnknownAssert = errors.New("scenario: unknown assertion type")
+	// ErrBadTarget: an event or phase addresses a node or rail outside
+	// the declared cluster, or a phase participant set that does not
+	// exist.
+	ErrBadTarget = errors.New("scenario: target outside the declared cluster")
+	// ErrPhaseOverlap: the phase timeline is ill-formed — two phases
+	// share a start instant or are declared out of start-time order, or
+	// two phases share a name.
+	ErrPhaseOverlap = errors.New("scenario: overlapping phases")
+	// ErrUnknownCheckpoint: an assertion anchors at a checkpoint no
+	// event declares.
+	ErrUnknownCheckpoint = errors.New("scenario: assertion on undeclared checkpoint")
+	// ErrAssertFailed: a scenario ran to completion but at least one
+	// assertion did not hold (see Report.Failures for the details).
+	ErrAssertFailed = errors.New("scenario: assertion failed")
+)

@@ -1,0 +1,369 @@
+package scenario
+
+import (
+	"fmt"
+
+	"nmad/internal/madmpi"
+	"nmad/internal/sim"
+)
+
+// The phase workloads. Every phase is a set of cooperating processes
+// spawned on its participant ranks at the phase's start instant; a
+// phase completes when the last of them finishes. All payloads carry a
+// deterministic fill pattern derived from (phase, sender, message,
+// offset) and every receiver verifies it — payload corruption is
+// counted, not fatal, and surfaces through the `integrity` assertion.
+//
+// Tag discipline: phase i owns the user-tag window [i*tagStride,
+// (i+1)*tagStride), so overlapping phases never steal each other's
+// matches. Collective phases run on a dedicated communicator (dup'd in
+// phase order on every rank at setup, so the ids agree cluster-wide)
+// for the same reason.
+const tagStride = 1 << 16
+
+// phaseRun tracks one phase's outcome.
+type phaseRun struct {
+	spec      PhaseSpec
+	start     sim.Time
+	end       sim.Time
+	done      bool
+	integrity int // corrupted payloads observed by this phase
+	pending   int // running processes
+}
+
+// finishOne marks one participant process done; the last one closes the
+// phase.
+func (pr *phaseRun) finishOne(now sim.Time) {
+	pr.pending--
+	if pr.pending == 0 {
+		pr.end = now
+		pr.done = true
+	}
+}
+
+// fill writes the deterministic pattern of message m from sender s in
+// phase ph.
+func fill(buf []byte, ph, s, m int) {
+	for i := range buf {
+		buf[i] = byte(ph*53 + s*31 + m*7 + i)
+	}
+}
+
+// verify counts a corrupted payload (1 per bad message, not per byte).
+func verify(buf []byte, ph, s, m int) int {
+	for i := range buf {
+		if buf[i] != byte(ph*53+s*31+m*7+i) {
+			return 1
+		}
+	}
+	return 0
+}
+
+// nodesOrAll defaults an empty participant list to the whole cluster.
+func nodesOrAll(nodes []int, n int) []int {
+	if len(nodes) > 0 {
+		return nodes
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// startPhase spawns the phase's processes. Called from scheduler
+// context at the phase's start instant.
+func (r *Runner) startPhase(pr *phaseRun) {
+	p := pr.spec
+	pr.start = r.world.Now()
+	base := p.index * tagStride
+	spawn := func(rank int, nproc string, body func(q *sim.Proc) int) {
+		pr.pending++
+		r.world.Spawn(fmt.Sprintf("%s/%s@%d", p.Name, nproc, rank), func(q *sim.Proc) {
+			pr.integrity += body(q)
+			pr.finishOne(q.Now())
+		})
+	}
+
+	switch p.Kind {
+	case PhasePingPong:
+		a, b := p.Nodes[0], p.Nodes[1]
+		size := max(p.Size, 1)
+		spawn(a, "ping", func(q *sim.Proc) int {
+			bad := 0
+			c := r.comm(a)
+			buf := make([]byte, size)
+			for it := 0; it < p.Count; it++ {
+				fill(buf, p.index, a, it)
+				if err := c.Isend(q, buf, b, base).Wait(q); err != nil {
+					r.procErr(p.Name, err)
+					return bad
+				}
+				if err := c.Irecv(q, buf, b, base+1).Wait(q); err != nil {
+					r.procErr(p.Name, err)
+					return bad
+				}
+				bad += verify(buf, p.index, b, it)
+			}
+			return bad
+		})
+		spawn(b, "pong", func(q *sim.Proc) int {
+			bad := 0
+			c := r.comm(b)
+			buf := make([]byte, size)
+			for it := 0; it < p.Count; it++ {
+				if err := c.Irecv(q, buf, a, base).Wait(q); err != nil {
+					r.procErr(p.Name, err)
+					return bad
+				}
+				bad += verify(buf, p.index, a, it)
+				fill(buf, p.index, b, it)
+				if err := c.Isend(q, buf, a, base+1).Wait(q); err != nil {
+					r.procErr(p.Name, err)
+					return bad
+				}
+			}
+			return bad
+		})
+
+	case PhaseRing:
+		members := nodesOrAll(p.Nodes, r.nodes())
+		size := max(p.Size, 1)
+		for slot := range members {
+			slot := slot
+			me := members[slot]
+			next := members[(slot+1)%len(members)]
+			prev := members[(slot-1+len(members))%len(members)]
+			prevSlot := (slot - 1 + len(members)) % len(members)
+			spawn(me, "ring", func(q *sim.Proc) int {
+				bad := 0
+				c := r.comm(me)
+				for round := 0; round < p.Count; round++ {
+					var reqs []*madmpi.Request
+					out := make([][]byte, p.Msgs)
+					in := make([][]byte, p.Msgs)
+					for m := 0; m < p.Msgs; m++ {
+						out[m] = make([]byte, size)
+						fill(out[m], p.index, slot, round*p.Msgs+m)
+						reqs = append(reqs, c.Isend(q, out[m], next, base+slot*p.Count+round))
+						in[m] = make([]byte, size)
+						reqs = append(reqs, c.Irecv(q, in[m], prev, base+prevSlot*p.Count+round))
+					}
+					if err := madmpi.Waitall(q, reqs...); err != nil {
+						r.procErr(p.Name, err)
+						return bad
+					}
+					for m := 0; m < p.Msgs; m++ {
+						bad += verify(in[m], p.index, prevSlot, round*p.Msgs+m)
+					}
+				}
+				return bad
+			})
+		}
+
+	case PhaseIncast:
+		senders := p.Senders
+		if len(senders) == 0 {
+			for n := 0; n < r.nodes(); n++ {
+				if n != p.Target {
+					senders = append(senders, n)
+				}
+			}
+		}
+		size := max(p.Size, 1)
+		for si, s := range senders {
+			si, s := si, s
+			spawn(s, "burst", func(q *sim.Proc) int {
+				c := r.comm(s)
+				var reqs []*madmpi.Request
+				for m := 0; m < p.Msgs; m++ {
+					buf := make([]byte, size)
+					fill(buf, p.index, s, m)
+					reqs = append(reqs, c.Isend(q, buf, p.Target, base+si))
+				}
+				if err := madmpi.Waitall(q, reqs...); err != nil {
+					r.procErr(p.Name, err)
+				}
+				return 0
+			})
+		}
+		for si, s := range senders {
+			si, s := si, s
+			spawn(p.Target, "drain", func(q *sim.Proc) int {
+				bad := 0
+				c := r.comm(p.Target)
+				buf := make([]byte, size)
+				for m := 0; m < p.Msgs; m++ {
+					if err := c.Irecv(q, buf, s, base+si).Wait(q); err != nil {
+						r.procErr(p.Name, err)
+						return bad
+					}
+					bad += verify(buf, p.index, s, m)
+					if p.DrainGap > 0 && m+1 < p.Msgs {
+						q.Sleep(p.DrainGap)
+					}
+				}
+				return bad
+			})
+		}
+
+	case PhaseComposite:
+		// The paper's headline composite: a bulk transfer with a small
+		// urgent control message submitted right behind it. With the
+		// priority flag the control message overtakes the bulk queue.
+		a, b := p.Nodes[0], p.Nodes[1]
+		bulk := max(p.Size, 1)
+		const ctrlSize = 64
+		spawn(a, "mixer", func(q *sim.Proc) int {
+			c := r.comm(a)
+			var reqs []*madmpi.Request
+			for m := 0; m < p.Msgs; m++ {
+				big := make([]byte, bulk)
+				fill(big, p.index, a, 2*m)
+				reqs = append(reqs, c.Isend(q, big, b, base))
+				ctl := make([]byte, ctrlSize)
+				fill(ctl, p.index, a, 2*m+1)
+				if p.Priority {
+					reqs = append(reqs, c.IsendPriority(q, ctl, b, base+1))
+				} else {
+					reqs = append(reqs, c.Isend(q, ctl, b, base+1))
+				}
+			}
+			if err := madmpi.Waitall(q, reqs...); err != nil {
+				r.procErr(p.Name, err)
+			}
+			return 0
+		})
+		spawn(b, "sink", func(q *sim.Proc) int {
+			bad := 0
+			c := r.comm(b)
+			var reqs []*madmpi.Request
+			bigs := make([][]byte, p.Msgs)
+			ctls := make([][]byte, p.Msgs)
+			for m := 0; m < p.Msgs; m++ {
+				bigs[m] = make([]byte, bulk)
+				reqs = append(reqs, c.Irecv(q, bigs[m], a, base))
+				ctls[m] = make([]byte, ctrlSize)
+				reqs = append(reqs, c.Irecv(q, ctls[m], a, base+1))
+			}
+			if err := madmpi.Waitall(q, reqs...); err != nil {
+				r.procErr(p.Name, err)
+				return bad
+			}
+			for m := 0; m < p.Msgs; m++ {
+				bad += verify(bigs[m], p.index, a, 2*m)
+				bad += verify(ctls[m], p.index, a, 2*m+1)
+			}
+			return bad
+		})
+
+	case PhaseBarrier:
+		for rank := 0; rank < r.nodes(); rank++ {
+			rank := rank
+			spawn(rank, "barrier", func(q *sim.Proc) int {
+				c := r.collComm(p.index, rank)
+				for it := 0; it < p.Count; it++ {
+					if err := c.Barrier(q); err != nil {
+						r.procErr(p.Name, err)
+						return 0
+					}
+				}
+				return 0
+			})
+		}
+
+	case PhaseBcast:
+		size := max(p.Size, 1)
+		for rank := 0; rank < r.nodes(); rank++ {
+			rank := rank
+			spawn(rank, "bcast", func(q *sim.Proc) int {
+				bad := 0
+				c := r.collComm(p.index, rank)
+				buf := make([]byte, size)
+				for it := 0; it < p.Count; it++ {
+					if rank == p.Root {
+						fill(buf, p.index, p.Root, it)
+					}
+					if err := c.Bcast(q, buf, p.Root); err != nil {
+						r.procErr(p.Name, err)
+						return bad
+					}
+					bad += verify(buf, p.index, p.Root, it)
+				}
+				return bad
+			})
+		}
+
+	case PhaseAllgather:
+		size := max(p.Size, 1)
+		n := r.nodes()
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			spawn(rank, "allgather", func(q *sim.Proc) int {
+				c := r.collComm(p.index, rank)
+				mine := make([]byte, size)
+				fill(mine, p.index, rank, 0)
+				all := make([]byte, size*n)
+				if err := c.Allgather(q, mine, all); err != nil {
+					r.procErr(p.Name, err)
+					return 0
+				}
+				bad := 0
+				for s := 0; s < n; s++ {
+					bad += verify(all[s*size:(s+1)*size], p.index, s, 0)
+				}
+				return bad
+			})
+		}
+
+	case PhaseAllreduce:
+		n := r.nodes()
+		elems := max(p.Size/8, 1) // Size is in bytes; float64 elements
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			spawn(rank, "allreduce", func(q *sim.Proc) int {
+				c := r.collComm(p.index, rank)
+				send := make([]float64, elems)
+				for i := range send {
+					send[i] = float64(rank + 1)
+				}
+				recv := make([]float64, elems)
+				if err := c.Allreduce(q, send, recv, madmpi.OpSum); err != nil {
+					r.procErr(p.Name, err)
+					return 0
+				}
+				want := float64(n*(n+1)) / 2
+				for i := range recv {
+					if recv[i] != want {
+						return 1
+					}
+				}
+				return 0
+			})
+		}
+
+	case PhaseAlltoall:
+		size := max(p.Size, 1)
+		n := r.nodes()
+		for rank := 0; rank < n; rank++ {
+			rank := rank
+			spawn(rank, "alltoall", func(q *sim.Proc) int {
+				c := r.collComm(p.index, rank)
+				send := make([]byte, size*n)
+				for dst := 0; dst < n; dst++ {
+					fill(send[dst*size:(dst+1)*size], p.index, rank, dst)
+				}
+				recv := make([]byte, size*n)
+				if err := c.Alltoall(q, send, recv); err != nil {
+					r.procErr(p.Name, err)
+					return 0
+				}
+				bad := 0
+				for src := 0; src < n; src++ {
+					bad += verify(recv[src*size:(src+1)*size], p.index, src, rank)
+				}
+				return bad
+			})
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+
+	"nmad/internal/core"
+	"nmad/internal/madmpi"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+	"nmad/internal/trace"
+)
+
+// Load reads, parses and validates one scenario file. Validation
+// failures come back joined, each wrapping its sentinel.
+func Load(path string) (*Scenario, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if errs := Validate(sc); len(errs) > 0 {
+		for i, e := range errs {
+			errs[i] = fmt.Errorf("%s: %w", path, e)
+		}
+		return nil, errors.Join(errs...)
+	}
+	return sc, nil
+}
+
+// Config adjusts one run of a scenario.
+type Config struct {
+	// Record, when non-nil, captures the offered load of the run (the
+	// PR-5 record/replay format), stamped with the scenario name and
+	// fault seed.
+	Record *trace.Recording
+	// Verbose, when non-nil, streams phase/event progress lines.
+	Verbose io.Writer
+}
+
+// PhaseReport is one phase's outcome in the report.
+type PhaseReport struct {
+	Name      string
+	Kind      string
+	Tenant    string
+	Start     sim.Time
+	End       sim.Time
+	Done      bool
+	Integrity int
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	Scenario string
+	// Completion is when the last phase finished; Drained when the
+	// world went idle (retransmit tails and probes included).
+	Completion sim.Time
+	Drained    sim.Time
+	Phases     []PhaseReport
+	Results    []AssertResult
+	// Stats / Faults are the end-of-run counters the assertions saw.
+	Stats  []core.Stats
+	Faults []simnet.FaultStats
+	// ProcErrors lists engine-level errors phases absorbed (a truncated
+	// receive, a closed gate); usually empty.
+	ProcErrors []string
+}
+
+// Failures counts assertions that did not hold.
+func (rep *Report) Failures() int {
+	n := 0
+	for _, r := range rep.Results {
+		if !r.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// Write renders the report as stable text.
+func (rep *Report) Write(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s: completion %v, drained %v\n", rep.Scenario, rep.Completion, rep.Drained)
+	for _, ph := range rep.Phases {
+		state := "completed"
+		if !ph.Done {
+			state = "DID NOT COMPLETE"
+		}
+		tenant := ""
+		if ph.Tenant != "" {
+			tenant = " tenant=" + ph.Tenant
+		}
+		fmt.Fprintf(w, "  phase %-16s %-10s%s %v -> %v  %s", ph.Name, ph.Kind, tenant, ph.Start, ph.End, state)
+		if ph.Integrity > 0 {
+			fmt.Fprintf(w, "  (%d corrupted payloads)", ph.Integrity)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, res := range rep.Results {
+		fmt.Fprintf(w, "  %s\n", res)
+	}
+	for _, e := range rep.ProcErrors {
+		fmt.Fprintf(w, "  proc error: %s\n", e)
+	}
+	fmt.Fprintf(w, "  assertions: %d passed, %d failed\n", len(rep.Results)-rep.Failures(), rep.Failures())
+}
+
+// Runner holds the live state of one scenario run.
+type Runner struct {
+	sc     *Scenario
+	cfg    Config
+	world  *sim.World
+	fabric *simnet.Fabric
+	mpis   []*madmpi.MPI
+	// collComms[phase index] is the dedicated communicator of a
+	// collective phase, one per rank (dup'd in phase order everywhere,
+	// so the communicator ids agree across the cluster).
+	collComms map[int][]*madmpi.Comm
+	phases    []*phaseRun
+	// railCfg mirrors the live per-rail fault configuration, the base
+	// mid-run set_faults / rail_outage events build on.
+	railCfg   []simnet.RailFaults
+	snapshots map[string]*Snapshot
+	procErrs  []string
+}
+
+func (r *Runner) nodes() int { return r.fabric.Nodes() }
+
+func (r *Runner) comm(rank int) *madmpi.Comm { return r.mpis[rank].CommWorld() }
+
+func (r *Runner) collComm(phase, rank int) *madmpi.Comm { return r.collComms[phase][rank] }
+
+// procErr records an engine-level error a phase process absorbed.
+func (r *Runner) procErr(phase string, err error) {
+	r.procErrs = append(r.procErrs, fmt.Sprintf("phase %s: %v", phase, err))
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.cfg.Verbose != nil {
+		fmt.Fprintf(r.cfg.Verbose, format+"\n", args...)
+	}
+}
+
+// snapshot captures the observable state of the run right now.
+func (r *Runner) snapshot() *Snapshot {
+	s := &Snapshot{At: r.world.Now()}
+	for _, m := range r.mpis {
+		s.Stats = append(s.Stats, m.Engine().Stats())
+	}
+	for _, net := range r.fabric.Networks() {
+		s.Faults = append(s.Faults, net.FaultStats())
+	}
+	return s
+}
+
+// Run executes one validated scenario and evaluates its assertions. The
+// returned error wraps ErrAssertFailed when the run completed but an
+// assertion did not hold; the Report is returned alongside either way.
+func Run(sc *Scenario, cfg Config) (*Report, error) {
+	if errs := Validate(sc); len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	c := sc.Cluster
+
+	host := simnet.DefaultHost()
+	if c.MemcpyBW > 0 {
+		host.MemcpyBandwidth = c.MemcpyBW
+	}
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, c.Nodes, host)
+	for _, name := range c.Rails {
+		prof, _ := simnet.ProfileByName(name)
+		if _, err := f.AddNetwork(prof); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", sc.Name, err)
+		}
+	}
+	r := &Runner{
+		sc: sc, cfg: cfg, world: w, fabric: f,
+		collComms: map[int][]*madmpi.Comm{},
+		snapshots: map[string]*Snapshot{},
+		railCfg:   make([]simnet.RailFaults, len(c.Rails)),
+	}
+	if c.Faults != nil {
+		fp := simnet.FaultProfile{Seed: c.Faults.Seed}
+		for _, rf := range c.Faults.Rails {
+			fp.Rails = append(fp.Rails, rf.toRailFaults())
+		}
+		if err := f.SetFaults(fp); err != nil {
+			return nil, fmt.Errorf("scenario %s: faults: %w", sc.Name, err)
+		}
+		copy(r.railCfg, fp.Rails)
+	}
+
+	opts := engineOptions(c.Engine)
+	opts.Record = cfg.Record
+	for node := 0; node < c.Nodes; node++ {
+		m, err := madmpi.Init(f, simnet.NodeID(node), opts)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: node %d: %w", sc.Name, node, err)
+		}
+		r.mpis = append(r.mpis, m)
+	}
+	if cfg.Record != nil {
+		cfg.Record.SetMeta("scenario", sc.Name)
+		seed := uint64(0)
+		if c.Faults != nil {
+			seed = c.Faults.Seed
+		}
+		cfg.Record.SetMeta("seed", strconv.FormatUint(seed, 10))
+	}
+
+	// Dedicated communicators for collective phases, dup'd in phase
+	// order on every rank so the ids match cluster-wide.
+	for _, p := range sc.Phases {
+		switch p.Kind {
+		case PhaseBarrier, PhaseBcast, PhaseAllgather, PhaseAllreduce, PhaseAlltoall:
+			comms := make([]*madmpi.Comm, c.Nodes)
+			for rank := range comms {
+				comms[rank] = r.mpis[rank].CommWorld().Dup()
+			}
+			r.collComms[p.index] = comms
+		}
+	}
+
+	// The timeline: phases at their start instants, events at theirs.
+	for _, p := range sc.Phases {
+		pr := &phaseRun{spec: p}
+		r.phases = append(r.phases, pr)
+		w.At(p.At, func() {
+			r.logf("%v: phase %s (%s) starts", w.Now(), pr.spec.Name, pr.spec.Kind)
+			r.startPhase(pr)
+		})
+	}
+	for _, e := range sc.Events {
+		e := e
+		w.At(e.At, func() { r.fireEvent(e) })
+	}
+
+	runErr := w.Run()
+
+	rep := &Report{Scenario: sc.Name, Drained: w.Now()}
+	for _, pr := range r.phases {
+		rep.Phases = append(rep.Phases, PhaseReport{
+			Name: pr.spec.Name, Kind: pr.spec.Kind, Tenant: pr.spec.Tenant,
+			Start: pr.start, End: pr.end, Done: pr.done, Integrity: pr.integrity,
+		})
+		if pr.done && pr.end > rep.Completion {
+			rep.Completion = pr.end
+		}
+	}
+	final := r.snapshot()
+	rep.Stats = final.Stats
+	rep.Faults = final.Faults
+	rep.ProcErrors = r.procErrs
+	if runErr != nil {
+		return rep, fmt.Errorf("scenario %s: %w", sc.Name, runErr)
+	}
+
+	ctx := &evalContext{
+		snapshots: r.snapshots,
+		phases:    map[string]*phaseRun{},
+		runEnd:    rep.Completion,
+	}
+	ctx.snapshots["end"] = final
+	for _, pr := range r.phases {
+		ctx.phases[pr.spec.Name] = pr
+		ctx.integrity += pr.integrity
+	}
+	for _, a := range sc.Assertions {
+		rep.Results = append(rep.Results, ctx.eval(a))
+	}
+	// Phases that never completed fail the run even without an explicit
+	// assertion — a scenario whose workload hangs is broken.
+	incomplete := 0
+	for _, pr := range r.phases {
+		if !pr.done {
+			incomplete++
+		}
+	}
+	if n := rep.Failures(); n > 0 || incomplete > 0 || len(r.procErrs) > 0 {
+		return rep, fmt.Errorf("scenario %s: %d assertion(s) failed, %d phase(s) incomplete, %d proc error(s): %w",
+			sc.Name, n, incomplete, len(r.procErrs), ErrAssertFailed)
+	}
+	return rep, nil
+}
+
+// fireEvent applies one mid-run intervention. Runs in scheduler context
+// at the event's instant.
+func (r *Runner) fireEvent(e EventSpec) {
+	r.logf("%v: event %s", r.world.Now(), e.Action)
+	switch e.Action {
+	case ActionDegradeRail:
+		r.fabric.Networks()[e.Rail].SetWireScale(e.Scale)
+	case ActionRestoreRail:
+		r.fabric.Networks()[e.Rail].SetWireScale(1)
+	case ActionSetFaults:
+		cfg := r.railCfg[e.Rail]
+		cfg.DropProb, cfg.DupProb, cfg.ReorderProb = e.Drop, e.Dup, e.Reorder
+		r.updateRail(e.Rail, cfg)
+	case ActionRailOutage:
+		cfg := r.railCfg[e.Rail]
+		cfg.Outages = append(append([]simnet.Outage(nil), cfg.Outages...),
+			simnet.Outage{At: r.world.Now(), Duration: e.Duration})
+		r.updateRail(e.Rail, cfg)
+	case ActionSlowNode:
+		r.fabric.Node(simnet.NodeID(e.Node)).SetSlowdown(e.Factor)
+	case ActionRestoreNode:
+		r.fabric.Node(simnet.NodeID(e.Node)).SetSlowdown(1)
+	case ActionSqueezeCredits:
+		eng := r.mpis[e.Node].Engine()
+		eng.FreezeCredits(true)
+		r.world.After(e.Duration, func() {
+			r.logf("%v: event squeeze_credits on node %d released", r.world.Now(), e.Node)
+			eng.FreezeCredits(false)
+		})
+	case ActionCheckpoint:
+		r.snapshots[e.Name] = r.snapshot()
+	}
+}
+
+// updateRail pushes a new rail fault configuration and keeps the mirror
+// in sync.
+func (r *Runner) updateRail(rail int, cfg simnet.RailFaults) {
+	if err := r.fabric.UpdateRailFaults(rail, cfg); err != nil {
+		// Validate bounds every event parameter before the run; an
+		// error here is a harness bug, not a scenario bug.
+		panic(fmt.Sprintf("scenario: UpdateRailFaults: %v", err))
+	}
+	r.railCfg[rail] = cfg
+}
+
+// engineOptions maps the declarative engine personality onto
+// core.Options.
+func engineOptions(e EngineSpec) core.Options {
+	opts := core.DefaultOptions()
+	if e.Strategy != "" {
+		opts.Strategy = e.Strategy
+	}
+	if e.Credits > 0 {
+		opts.Credits = e.Credits
+	}
+	if e.MaxGrants > 0 {
+		opts.MaxGrants = e.MaxGrants
+	}
+	opts.Reliability = e.Reliability
+	if e.RetransmitTimeout > 0 {
+		opts.RetransmitTimeout = e.RetransmitTimeout
+	}
+	if e.RetransmitBudget > 0 {
+		opts.RetransmitBudget = e.RetransmitBudget
+	}
+	if e.ProbeBudget > 0 {
+		opts.ProbeBudget = e.ProbeBudget
+	}
+	if e.Anticipate {
+		opts.Anticipate = true
+	}
+	if e.FlushBacklog > 0 {
+		opts.FlushBacklog = e.FlushBacklog
+	}
+	if e.BodyChunk > 0 {
+		opts.BodyChunk = e.BodyChunk
+	}
+	return opts
+}
+
+// ListDir loads every *.yaml scenario in a directory, in name order.
+// Parse or validation failures are returned per-file; readable
+// scenarios still come back.
+func ListDir(dir string) ([]*Scenario, map[string]error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, map[string]error{dir: err}
+	}
+	var names []string
+	for _, ent := range entries {
+		if ent.IsDir() {
+			continue
+		}
+		if n := ent.Name(); len(n) > 5 && n[len(n)-5:] == ".yaml" {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var out []*Scenario
+	bad := map[string]error{}
+	for _, n := range names {
+		sc, err := Load(dir + "/" + n)
+		if err != nil {
+			bad[n] = err
+			continue
+		}
+		out = append(out, sc)
+	}
+	if len(bad) == 0 {
+		bad = nil
+	}
+	return out, bad
+}

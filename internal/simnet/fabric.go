@@ -25,14 +25,39 @@ func DefaultHost() Host { return Host{MemcpyBandwidth: 1.2e9} }
 type Node struct {
 	ID   NodeID
 	host Host
+	// slowdown scales every host-model cost of the node: 1 is the
+	// nominal machine, 4 is a node whose memory system delivers a
+	// quarter of the bandwidth (thermal throttling, a noisy neighbor, a
+	// failing DIMM). Mutable mid-run — the straggler-node scenarios
+	// drive it through SetSlowdown.
+	slowdown float64
 }
 
 // Host returns the machine parameters of the node.
 func (n *Node) Host() Host { return n.host }
 
+// SetSlowdown scales the node's host-model costs by the given factor
+// (>= 1; 1 restores the nominal machine). It takes effect immediately:
+// every memcpy charged after the call pays factor times the nominal
+// cost, which is how a scenario turns one node into a straggler mid-run.
+func (n *Node) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic(fmt.Sprintf("simnet: slowdown factor %v < 1 would speed the node up", factor))
+	}
+	n.slowdown = factor
+}
+
+// Slowdown reports the current host-model scale factor (1 = nominal).
+func (n *Node) Slowdown() float64 {
+	if n.slowdown == 0 {
+		return 1
+	}
+	return n.slowdown
+}
+
 // CopyCost is the virtual time needed to memcpy n bytes on this host.
 func (n *Node) CopyCost(size int) sim.Time {
-	return sim.ByteTime(size, n.host.MemcpyBandwidth)
+	return sim.ByteTime(size, n.host.MemcpyBandwidth/n.Slowdown())
 }
 
 // Fabric is a set of nodes joined by one or more networks. Each call to

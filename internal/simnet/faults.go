@@ -207,6 +207,49 @@ func (r RailFaults) inert() bool {
 	return r.DropProb == 0 && r.DupProb == 0 && r.ReorderProb == 0 && len(r.Outages) == 0
 }
 
+// UpdateRailFaults changes one rail's fault configuration mid-run,
+// preserving the rail's RNG stream and fault counters: the injector
+// keeps drawing from where it was, so a run that updates a rail at a
+// deterministic instant stays deterministic end to end. This is the
+// runtime mutation hook the scenario harness drives for drop-rate
+// changes and injected outages (SetFaults, by contrast, replaces every
+// injector and resets streams and stats — a full reinstall).
+//
+// When no profile is installed yet, one is created with seed 0 covering
+// exactly this fabric's rails; pass a seeded profile through SetFaults
+// first if the scenario needs a specific fault stream.
+func (f *Fabric) UpdateRailFaults(rail int, cfg RailFaults) error {
+	if rail < 0 || rail >= len(f.nets) {
+		return fmt.Errorf("simnet: no rail %d in a %d-rail fabric", rail, len(f.nets))
+	}
+	probe := FaultProfile{Rails: []RailFaults{cfg}}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	if f.faults == nil {
+		f.faults = &FaultProfile{}
+	}
+	// Clone the rail slice before mutating: SetFaults shares the backing
+	// array with the caller's profile (and possibly with a recording).
+	rails := make([]RailFaults, len(f.faults.Rails), max(len(f.faults.Rails), rail+1))
+	copy(rails, f.faults.Rails)
+	for len(rails) <= rail {
+		rails = append(rails, RailFaults{})
+	}
+	rails[rail] = cfg
+	f.faults.Rails = rails
+	net := f.nets[rail]
+	switch {
+	case cfg.inert():
+		net.faults = nil
+	case net.faults != nil:
+		net.faults.cfg = cfg // keep the RNG stream and the counters
+	default:
+		net.faults = newFaultState(cfg, f.faults.Seed, rail)
+	}
+	return nil
+}
+
 // Faults returns the installed fault profile, or nil for a perfect
 // fabric.
 func (f *Fabric) Faults() *FaultProfile { return f.faults }

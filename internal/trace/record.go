@@ -91,6 +91,7 @@ type NodeConfig struct {
 	Reliability       bool     `json:"reliability,omitempty"`
 	RetransmitTimeout sim.Time `json:"retransmit_timeout,omitempty"`
 	RetransmitBudget  int      `json:"retransmit_budget,omitempty"`
+	ProbeBudget       int      `json:"probe_budget,omitempty"`
 }
 
 // RecordingHeader is the first JSONL line: format tag, version and the
@@ -110,6 +111,11 @@ type RecordingHeader struct {
 	Faults *simnet.FaultProfile `json:"faults,omitempty"`
 	// Engines maps node id to the engine personality recorded there.
 	Engines map[int]NodeConfig `json:"engines"`
+	// Meta carries free-form provenance stamps ("scenario", "seed", ...)
+	// set through SetMeta. Minor metadata per the compatibility policy:
+	// readers ignore keys they do not know, so adding stamps needs no
+	// version bump.
+	Meta map[string]string `json:"meta,omitempty"`
 }
 
 // Recording accumulates the offered load of a run. Attach one to every
@@ -155,6 +161,26 @@ func (r *Recording) RegisterFaults(fp *simnet.FaultProfile) {
 	cp := *fp
 	cp.Rails = append([]simnet.RailFaults(nil), fp.Rails...)
 	r.header.Faults = &cp
+}
+
+// SetMeta stamps one provenance key on the recording header (e.g. the
+// scenario name and seed a recording was made from). Safe on nil.
+func (r *Recording) SetMeta(key, value string) {
+	if r == nil {
+		return
+	}
+	if r.header.Meta == nil {
+		r.header.Meta = make(map[string]string)
+	}
+	r.header.Meta[key] = value
+}
+
+// Meta reads one provenance stamp ("" when absent). Safe on nil.
+func (r *Recording) Meta(key string) string {
+	if r == nil {
+		return ""
+	}
+	return r.header.Meta[key]
 }
 
 // RegisterEngine records the engine personality of one node.

@@ -215,6 +215,17 @@ func WithRetransmitBudget(n int) EngineOption {
 	return func(c *engineConfig) { c.RetransmitBudget = n }
 }
 
+// WithProbeBudget bounds the recovery probe of a failed rail: after n
+// unanswered pings the engine abandons the rail for good (counted in
+// Stats.AbandonedRails) instead of probing forever. Without a budget a
+// permanently dead rail keeps the probe rescheduling itself, so a
+// simulation can only be ended with a RunUntil horizon; with one, runs
+// over permanent outages terminate on their own. 0 (the default) probes
+// forever. Implies nothing unless WithReliability is set.
+func WithProbeBudget(n int) EngineOption {
+	return func(c *engineConfig) { c.ProbeBudget = n }
+}
+
 // WithCollAlgo pins the collective algorithm used for one collective
 // kind on an MPI rank, bypassing the automatic size/comm-size selection:
 //

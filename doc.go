@@ -194,6 +194,28 @@
 // ScenarioErrPhaseOverlap, ...) classifying every way a file can be
 // wrong. The format reference lives in internal/scenario.
 //
+// # Static analysis and invariants
+//
+// The engine's load-bearing promises — byte-deterministic replay,
+// seeded fault injection, the SPI aliasing contract — are machine-checked
+// by cmd/nmad-vet, a vet-compatible analyzer suite built in
+// internal/analysis and run by CI over the whole module with
+// go vet -vettool. Four analyzers police four invariants: determinism
+// (no wall-clock reads, no global math/rand, no order-dependent
+// map iteration in the deterministic packages — internal/core,
+// internal/sim, internal/simnet, internal/madmpi, internal/scenario,
+// internal/replay, internal/trace and sched), statssync (the scenario
+// assertion tables cover exactly the exported numeric counters of
+// core.Stats and simnet.FaultStats under their snake_case names),
+// sentinelcmp (the module's sentinel errors are matched with errors.Is
+// and errors.As, never == or type switches), and spileak (strategies
+// never retain the Window, *Wrapper or RailInfo views the engine lends
+// them during an election). A finding is suppressed one site at a time
+// with "//nmadvet:allow <analyzer>(<reason>)"; the reason is mandatory
+// and stale allows are themselves findings. Adding a counter to
+// core.Stats fails CI until the scenario table in internal/scenario
+// learns its snake_case name — that is the point.
+//
 // # Layout
 //
 //   - package nmad (this package): the facade — Cluster assembly,
@@ -223,6 +245,9 @@
 //     parser, validation, phase workloads, mid-run events, assertions.
 //   - internal/baseline: MPICH-like and OpenMPI-like comparators.
 //   - internal/bench: the harness regenerating every evaluation figure.
+//   - internal/analysis, cmd/nmad-vet: the static-analysis suite
+//     enforcing the invariants above; internal/names holds the shared
+//     snake_case naming rule it cross-checks against internal/scenario.
 //
 // # Quick start
 //

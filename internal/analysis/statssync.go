@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"nmad/internal/names"
+)
+
+// StatsSyncAnalyzer keeps the scenario assertion tables and the engine
+// counter structs in lockstep. It recognizes package-level tables of
+// the shape
+//
+//	var statsFields = map[string]func(core.Stats) float64{ ... }
+//
+// (any table named statsFields or faultFields whose element is a
+// single-parameter float64 accessor over a named struct) and enforces,
+// with the shared names.Snake rule:
+//
+//   - every exported numeric field of the struct has a table entry —
+//     a new core.Stats counter fails vet until scenarios can assert it;
+//   - every entry's key is exactly names.Snake of the one field or
+//     method its accessor reads — the names cannot drift;
+//   - keys are string literals and accessors are function literals, so
+//     the table stays statically checkable.
+var StatsSyncAnalyzer = &Analyzer{
+	Name: "statssync",
+	Doc: "keep scenario assertion field tables covering exactly the exported " +
+		"numeric fields of the engine stats structs",
+	Run: runStatsSync,
+}
+
+var statsTableNames = map[string]bool{"statsFields": true, "faultFields": true}
+
+func runStatsSync(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !statsTableNames[name.Name] || i >= len(vs.Values) {
+						continue
+					}
+					checkStatsTable(pass, name.Name, vs.Values[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkStatsTable(pass *Pass, table string, value ast.Expr) {
+	lit, ok := ast.Unparen(value).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	target := accessorTarget(pass, lit)
+	if target == nil {
+		return // not an accessor table shape; leave it alone
+	}
+	st, ok := target.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		// Credit the members the accessor reads before judging the
+		// entry, so one broken entry yields one finding, not a cascade
+		// of missing-field reports.
+		var members []string
+		fn, isLit := ast.Unparen(kv.Value).(*ast.FuncLit)
+		if isLit {
+			members = accessedMembers(pass, fn)
+			for _, m := range members {
+				covered[m] = true
+			}
+		}
+		key, keyOK := stringLiteral(kv.Key)
+		if !keyOK {
+			pass.Reportf(kv.Key.Pos(),
+				"%s key must be a string literal so nmad-vet can check the name", table)
+			continue
+		}
+		if !isLit {
+			pass.Reportf(kv.Value.Pos(),
+				"%s accessor for %q must be a function literal so nmad-vet can see which field it reads", table, key)
+			continue
+		}
+		if len(members) != 1 {
+			pass.Reportf(kv.Value.Pos(),
+				"%s accessor for %q must read exactly one %s member, it reads %d", table, key, target, len(members))
+			continue
+		}
+		if member := members[0]; key != names.Snake(member) {
+			pass.Reportf(kv.Key.Pos(),
+				"%s key %q does not match the snake_case name %q of %s.%s (names.Snake is the mapping rule)",
+				table, key, names.Snake(member), target, member)
+		}
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if !field.Exported() || !isNumeric(field.Type()) {
+			continue
+		}
+		if !covered[field.Name()] {
+			pass.Reportf(value.Pos(),
+				"%s has no entry for %s.%s: add %q so scenario assertions can reach the counter",
+				table, target, field.Name(), names.Snake(field.Name()))
+		}
+	}
+}
+
+// accessorTarget returns the named struct type S when the literal's
+// type is map[string]func(S) float64, else nil.
+func accessorTarget(pass *Pass, lit *ast.CompositeLit) *types.Named {
+	tv, ok := pass.Info.Types[lit]
+	if !ok {
+		return nil
+	}
+	m, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	if basic, ok := m.Key().Underlying().(*types.Basic); !ok || basic.Kind() != types.String {
+		return nil
+	}
+	sig, ok := m.Elem().Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return nil
+	}
+	named, _ := sig.Params().At(0).Type().(*types.Named)
+	return named
+}
+
+// accessedMembers collects the distinct fields and methods the accessor
+// reads off its parameter, in first-use order.
+func accessedMembers(pass *Pass, fn *ast.FuncLit) []string {
+	if fn.Type.Params == nil || len(fn.Type.Params.List) != 1 || len(fn.Type.Params.List[0].Names) != 1 {
+		return nil
+	}
+	param := pass.Info.Defs[fn.Type.Params.List[0].Names[0]]
+	if param == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, _ := ast.Unparen(sel.X).(*ast.Ident); id != nil && pass.Info.Uses[id] == param {
+			if !seen[sel.Sel.Name] {
+				seen[sel.Sel.Name] = true
+				out = append(out, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	return s, err == nil
+}
+
+func isNumeric(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsNumeric != 0
+}

@@ -1,0 +1,15 @@
+package determ
+
+// The allow-comment grammar is itself checked: a reason is mandatory,
+// the analyzer must exist, and an allow that suppresses nothing is
+// stale.
+
+//nmadvet:allow determinism() // want `nmadvet: //nmadvet:allow needs a reason`
+
+//nmadvet:allow nosuchanalyzer(reason) // want `nmadvet: //nmadvet:allow names unknown analyzer "nosuchanalyzer"`
+
+//nmadvet:allow-malformed // want `nmadvet: malformed nmadvet comment`
+
+//nmadvet:allow determinism(nothing on this line needs suppressing) // want `nmadvet: stale //nmadvet:allow determinism comment`
+
+func nothingWrongHere() {}

@@ -1,0 +1,100 @@
+// Package determ is the determinism analyzer fixture: a package that
+// opts into the deterministic contract and violates it in every way the
+// analyzer knows, next to the idioms that must stay legal.
+//
+//nmadvet:deterministic
+package determ
+
+import (
+	"math/rand" // want `determinism: import of math/rand in a deterministic package`
+	"sort"
+	"time"
+)
+
+var _ = rand.Int
+
+func wallClock() time.Duration {
+	start := time.Now()      // want `determinism: time.Now reads the wall clock`
+	return time.Since(start) // want `determinism: time.Since reads the wall clock`
+}
+
+func emit(string)  {}
+func schedule(int) {}
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // legal: pure commutative accumulation
+		total += v
+	}
+	return total
+}
+
+func traceAll(m map[string]int) {
+	for k := range m { // want `determinism: map iteration order is random and the loop body calls emit`
+		emit(k)
+	}
+}
+
+func sendAll(m map[int]int, ch chan int) {
+	for _, v := range m { // want `determinism: map iteration order is random and the loop body sends on a channel`
+		ch <- v
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `determinism: map iteration order is random and the loop body appends to keys without sorting it afterwards`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // legal: the sortedKeys idiom — sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func regroup(m map[string]int, by map[int][]string) {
+	for k, v := range m { // legal: per-key accumulation is order-free
+		by[v] = append(by[v], k)
+	}
+}
+
+func convertOnly(m map[string]int) float64 {
+	var total float64
+	for _, v := range m { // legal: conversions are not calls
+		total += float64(v)
+	}
+	return total
+}
+
+func clearAll(m map[string]int, other map[string]int) {
+	for k := range m { // legal: delete and len are order-free builtins
+		if len(other) > 0 {
+			delete(other, k)
+		}
+	}
+}
+
+func allowed(m map[string]int) {
+	//nmadvet:allow determinism(fixture: effects here are idempotent per key)
+	for k := range m {
+		schedule(len(k))
+	}
+}
+
+func inlineAllowed(m map[string]int) {
+	for k := range m { //nmadvet:allow determinism(fixture: emit is order-free here)
+		emit(k)
+	}
+}
+
+type recHeader struct {
+	Engines map[int]string     `json:"engines"` // legal: json sorts integer keys
+	Meta    map[string]string  `json:"meta"`    // legal: json sorts string keys
+	scratch map[float64]string // legal: never serialized
+	Bad     map[float64]string `json:"bad"` // want `determinism: serialized map field Bad has key type float64 with no sorted JSON marshal order`
+}

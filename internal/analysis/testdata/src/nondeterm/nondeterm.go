@@ -1,0 +1,25 @@
+// Package nondeterm is the determinism analyzer's negative control: it
+// commits every sin the determ fixture does, but it never opted into
+// the deterministic contract (no path match, no marker comment), so
+// nothing may be reported.
+package nondeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+var _ = rand.Int
+
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+func emit(string) {}
+
+func traceAll(m map[string]int) {
+	for k := range m {
+		emit(k)
+	}
+}

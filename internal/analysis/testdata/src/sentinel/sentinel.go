@@ -1,0 +1,68 @@
+// Package sentinel is the sentinelcmp fixture: local sentinel errors
+// and error types compared every wrong way, next to the idioms that
+// stay legal.
+package sentinel
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+)
+
+var (
+	ErrProto = errors.New("sentinel: protocol anomaly")
+	ErrBusy  = errors.New("sentinel: busy")
+)
+
+// ParseError is a module error type: assertions on it need errors.As.
+type ParseError struct{ Line int }
+
+func (e *ParseError) Error() string { return fmt.Sprintf("parse error at line %d", e.Line) }
+
+func compare(err error) bool {
+	if err == ErrProto { // want `sentinelcmp: direct == comparison against sentinel ErrProto`
+		return true
+	}
+	if err != ErrBusy { // want `sentinelcmp: direct != comparison against sentinel ErrBusy`
+		return true
+	}
+	if ErrProto == err { // want `sentinelcmp: direct == comparison against sentinel ErrProto`
+		return true
+	}
+	return false
+}
+
+func legal(err error) bool {
+	if err == nil { // legal: nil checks stay idiomatic
+		return true
+	}
+	if errors.Is(err, ErrProto) { // legal: the required form
+		return true
+	}
+	var other error
+	return err == other // legal: neither side is a sentinel
+}
+
+func allowedIdentity(err error) bool {
+	//nmadvet:allow sentinelcmp(fixture: err was produced two lines up, unwrapped by construction)
+	return err == ErrBusy
+}
+
+func classify(err error) string {
+	switch err {
+	case nil:
+		return "ok"
+	case ErrProto: // want `sentinelcmp: switch case matches sentinel ErrProto by identity`
+		return "proto"
+	}
+	if _, ok := err.(*ParseError); ok { // want `sentinelcmp: type assertion to error type \*ParseError`
+		return "parse"
+	}
+	switch err.(type) {
+	case *ParseError: // want `sentinelcmp: type switch case on error type \*ParseError`
+		return "parse"
+	case *fs.PathError: // legal: not a module error type
+		return "path"
+	}
+	return "other"
+}

@@ -1,0 +1,74 @@
+// Package spileak is the spileak fixture: one strategy that hoards
+// every engine view it is shown, one that copies what it needs, and a
+// non-strategy type that proves the analyzer stays in its lane.
+package spileak
+
+import "nmad/sched"
+
+var saved []sched.RailInfo // want `spileak: package variable saved retains the \[\]sched.RailInfo view`
+
+// leaky implements sched.Strategy and retains every view.
+type leaky struct {
+	win   sched.Window
+	rails []sched.RailInfo
+	wraps []*sched.Wrapper
+	last  sched.Wrapper
+	cb    func() int
+}
+
+func (l *leaky) Name() string { return "leaky" }
+
+func (l *leaky) Elect(w sched.Window, rail sched.RailInfo) *sched.Election {
+	l.win = w // want `spileak: Elect stores the sched.Window view into field win`
+	var e sched.Election
+	w.Scan(func(wr sched.Wrapper) bool {
+		l.wraps = append(l.wraps, &wr) // want `spileak: Elect stores a \*sched.Wrapper into field wraps`
+		l.last = wr                    // legal: a Wrapper value is a copy
+		e.Pick(wr)
+		return true
+	})
+	return &e
+}
+
+func (l *leaky) PlanBody(rails []sched.RailInfo, size int) []sched.BodyShare {
+	l.rails = rails // want `spileak: PlanBody stores the \[\]sched.RailInfo view into field rails`
+	saved = rails   // want `spileak: PlanBody stores the \[\]sched.RailInfo view into package variable saved`
+	go func() {
+		_ = rails // want `spileak: PlanBody leaks the \[\]sched.RailInfo view into a goroutine`
+	}()
+	l.cb = func() int { return len(rails) } // want `spileak: PlanBody leaks the \[\]sched.RailInfo view into field cb`
+	return sched.SingleRail(rails, size)
+}
+
+// clean implements sched.Strategy and only copies scalar facts out of
+// the views: no findings.
+type clean struct {
+	bytes    int
+	bestRail int
+}
+
+func (c *clean) Name() string { return "clean" }
+
+func (c *clean) Elect(w sched.Window, rail sched.RailInfo) *sched.Election {
+	local := w // legal: locals die with the call
+	var e sched.Election
+	n := 0
+	local.Scan(func(wr sched.Wrapper) bool {
+		e.Pick(wr)
+		n++
+		return n < 4
+	})
+	c.bytes += e.WireSize() // legal: scalar copy
+	return &e
+}
+
+func (c *clean) PlanBody(rails []sched.RailInfo, size int) []sched.BodyShare {
+	c.bestRail = sched.BestRail(rails) // legal: scalar copy
+	return sched.SingleRail(rails, size)
+}
+
+// holder is not a sched.Strategy, so its stores are out of scope even
+// though the field type matches.
+type holder struct{ win sched.Window }
+
+func (h *holder) set(w sched.Window) { h.win = w } // legal: not a strategy

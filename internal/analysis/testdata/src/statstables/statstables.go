@@ -1,0 +1,46 @@
+// Package statstables is the statssync fixture. It mirrors the shape
+// of internal/scenario's assertion tables over local stand-ins for
+// core.Stats and simnet.FaultStats, with one table kept perfectly in
+// sync (no findings) and one drifted in every detectable way.
+package statstables
+
+// Stats stands in for core.Stats.
+type Stats struct {
+	Submitted      int
+	OutputPackets  int
+	WireBytes      int64
+	DupAcks        int
+	Enabled        bool    // not numeric: needs no table entry
+	PerDriverBytes []int64 // not numeric: needs no table entry
+}
+
+// AggregationRatio stands in for the derived-metric methods the tables
+// may expose alongside raw fields.
+func (s Stats) AggregationRatio() float64 { return float64(s.OutputPackets) }
+
+// FaultStats stands in for simnet.FaultStats.
+type FaultStats struct {
+	Dropped   int
+	Reordered int
+}
+
+const aliasKey = "wire_bytes"
+
+// statsFields drifts from Stats in every way statssync can catch:
+// DupAcks has no entry, output_pkts misnames OutputPackets, one
+// accessor reads two members at once, and one key is not a literal.
+var statsFields = map[string]func(Stats) float64{ // want `statssync: statsFields has no entry for .*Stats\.DupAcks: add "dup_acks"`
+	"submitted":         func(s Stats) float64 { return float64(s.Submitted) },
+	"output_pkts":       func(s Stats) float64 { return float64(s.OutputPackets) },                        // want `statssync: statsFields key "output_pkts" does not match the snake_case name "output_packets"`
+	aliasKey:            func(s Stats) float64 { return float64(s.WireBytes) },                            // want `statssync: statsFields key must be a string literal`
+	"aggregation_ratio": func(s Stats) float64 { return s.AggregationRatio() + float64(s.OutputPackets) }, // want `statssync: statsFields accessor for "aggregation_ratio" must read exactly one .*Stats member, it reads 2`
+}
+
+// faultFields is in perfect sync: no findings.
+var faultFields = map[string]func(FaultStats) float64{
+	"dropped":   func(s FaultStats) float64 { return float64(s.Dropped) },
+	"reordered": func(s FaultStats) float64 { return float64(s.Reordered) },
+}
+
+var _ = statsFields
+var _ = faultFields

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"nmad/internal/sim"
@@ -247,7 +248,7 @@ func TestIrecvvTruncation(t *testing.T) {
 	})
 	w.Spawn("recv", func(p *sim.Proc) {
 		req := e1.Gate(0).Irecvv(p, 2, out)
-		if err := req.Wait(p); err != ErrTruncated {
+		if err := req.Wait(p); !errors.Is(err, ErrTruncated) {
 			t.Errorf("err = %v, want ErrTruncated", err)
 		}
 		if req.N() != 32 {

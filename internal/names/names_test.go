@@ -1,0 +1,25 @@
+package names
+
+import "testing"
+
+func TestSnake(t *testing.T) {
+	cases := map[string]string{
+		"Submitted":           "submitted",
+		"OutputPackets":       "output_packets",
+		"MaxEntriesPerPacket": "max_entries_per_packet",
+		"RdvStarted":          "rdv_started",
+		"DupAcks":             "dup_acks",
+		"CtrlPiggybacked":     "ctrl_piggybacked",
+		"WireBytes":           "wire_bytes",
+		"RDMABytes":           "rdma_bytes",
+		"AggregationRatio":    "aggregation_ratio",
+		"OutageDropped":       "outage_dropped",
+		"X":                   "x",
+		"":                    "",
+	}
+	for in, want := range cases {
+		if got := Snake(in); got != want {
+			t.Errorf("Snake(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

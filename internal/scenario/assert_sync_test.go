@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"nmad/internal/core"
+	"nmad/internal/names"
+	"nmad/internal/simnet"
+)
+
+// These tests are the runtime half of the statssync contract: the
+// nmad-vet statssync analyzer proves the field tables are in sync at
+// the source level, and these prove it at runtime — every exported
+// numeric field is reachable under its names.Snake key, and each
+// accessor reads the field its key names (not a copy-paste neighbour).
+// Both halves derive the key from the same rule, names.Snake, so a
+// renamed field cannot drift the schema silently.
+
+func numericKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+// checkFieldTable verifies table against the struct type of zero:
+// coverage (every exported numeric field has an entry), naming (every
+// key is the names.Snake form of a field or method), and binding (the
+// accessor for a field key returns that field's value). probe sets the
+// field at index i to a distinct value and returns it.
+func checkFieldTable[S any](t *testing.T, tableName string, table map[string]func(S) float64) {
+	t.Helper()
+	typ := reflect.TypeFor[S]()
+
+	fieldFor := make(map[string]int) // snake key -> field index
+	for i := 0; i < typ.NumField(); i++ {
+		f := typ.Field(i)
+		if !f.IsExported() || !numericKind(f.Type.Kind()) {
+			continue
+		}
+		key := names.Snake(f.Name)
+		fieldFor[key] = i
+		if _, ok := table[key]; !ok {
+			t.Errorf("%s has no entry for %s.%s (key %q)", tableName, typ, f.Name, key)
+		}
+	}
+
+	methodKeys := make(map[string]bool)
+	for i := 0; i < typ.NumMethod(); i++ {
+		methodKeys[names.Snake(typ.Method(i).Name)] = true
+	}
+
+	for key, accessor := range table {
+		idx, isField := fieldFor[key]
+		if !isField {
+			if !methodKeys[key] {
+				t.Errorf("%s key %q names no exported numeric field or method of %s", tableName, key, typ)
+			}
+			continue
+		}
+		// Bind check: set only this field to a sentinel value and
+		// confirm the accessor sees it.
+		v := reflect.New(typ).Elem()
+		f := v.Field(idx)
+		const sentinel = 6371
+		switch {
+		case f.CanInt():
+			f.SetInt(sentinel)
+		case f.CanUint():
+			f.SetUint(sentinel)
+		default:
+			f.SetFloat(sentinel)
+		}
+		if got := accessor(v.Interface().(S)); got != sentinel {
+			t.Errorf("%s[%q] returned %v, want the value of field %s (%v): accessor reads the wrong field",
+				tableName, key, got, typ.Field(idx).Name, float64(sentinel))
+		}
+	}
+}
+
+func TestStatsFieldsMatchCoreStats(t *testing.T) {
+	checkFieldTable(t, "statsFields", statsFields)
+	var _ core.Stats // the table's subject, pinned for the reader
+}
+
+func TestFaultFieldsMatchFaultStats(t *testing.T) {
+	checkFieldTable(t, "faultFields", faultFields)
+	var _ simnet.FaultStats
+}

@@ -303,7 +303,8 @@ func (d *decoder) strictKeys(path string, m map[string]any, allowed ...string) {
 	for _, k := range allowed {
 		ok[k] = true
 	}
-	for k := range m {
+	// Sorted so the reported unknown field is the same on every run.
+	for _, k := range sortedKeys(m) {
 		if !ok[k] {
 			at := path
 			if at == "" {
@@ -626,8 +627,13 @@ func (d *decoder) assert(path string, item any) AssertSpec {
 		Before: d.str(m, "before", ""),
 		After:  d.str(m, "after", ""),
 	}
-	// node / rail selectors accept an integer or a selector word.
-	for key, dst := range map[string]*string{"node": &a.Node, "rail": &a.Rail} {
+	// node / rail selectors accept an integer or a selector word. Fixed
+	// order, so a scenario bad in both reports the same failure first.
+	for _, sel := range []struct {
+		key string
+		dst *string
+	}{{"node", &a.Node}, {"rail", &a.Rail}} {
+		key, dst := sel.key, sel.dst
 		switch v := m[key].(type) {
 		case nil:
 		case int64:

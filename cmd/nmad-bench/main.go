@@ -9,6 +9,7 @@
 //	nmad-bench -fig 4a -format csv
 //	nmad-bench -fig incast,5.1 -json  # machine-readable, for BENCH_*.json trajectories
 //	nmad-bench -fig scale-nodes -seed 7   # lossy figures under another fault seed
+//	nmad-bench -fig engine-speed -cpuprofile cpu.out -memprofile mem.out
 //	nmad-bench -list              # figure ids with one-line descriptions
 //	nmad-bench -fig list          # same
 //
@@ -45,11 +46,32 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results (same as -format json)")
 	list := flag.Bool("list", false, "list figure ids with descriptions and exit")
 	seed := flag.Uint64("seed", nmad.BenchSeed(), "fault-injection seed for the lossy figures (stamped into their series)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected figures to this file")
+	memprofile := flag.String("memprofile", "", "write a heap allocation profile to this file after the selected figures")
 	flag.Parse()
 	if *jsonOut {
 		*format = "json"
 	}
 	nmad.BenchSetSeed(*seed)
+	if *cpuprofile != "" {
+		stop, err := nmad.BenchStartCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmad-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "nmad-bench: %v\n", err)
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := nmad.BenchWriteMemProfile(*memprofile); err != nil {
+				fmt.Fprintf(os.Stderr, "nmad-bench: %v\n", err)
+			}
+		}()
+	}
 
 	if *list || *fig == "list" {
 		w := 0

@@ -1,16 +1,22 @@
 // Command nmad-trend is the benchmark trend check: it compares two
 // BENCH_PR*.json trajectory files (as committed per PR and regenerated
 // by CI) and fails if any tracked figure regressed by more than the
-// threshold. All tracked metrics are lower-is-better (latencies,
-// completion times, queue high-water marks); figures without data
-// points (text-only tables like 5.1) and series or points present in
-// only one file are skipped, so adding figures never breaks the check.
+// threshold. Most tracked metrics are lower-is-better (latencies,
+// completion times, queue high-water marks), but a figure can be
+// declared higher-is-better in the built-in table — engine-speed's
+// ops/sec must fail the check when it drops, not when it rises.
+// Figures without data points (text-only tables like 5.1) and series or
+// points present in only one file are skipped, so adding figures never
+// breaks the check.
 //
 // Thresholds are per figure: -threshold sets the global default, and
 // figures whose completion times are dominated by retransmission timing
 // (the lossy fault figures, where one extra 200µs timeout on the
 // critical path dwarfs a 20% band) carry looser built-in defaults.
-// -fig-threshold overrides any figure individually.
+// The wall-clock engine-speed figure carries a looser band too: it is
+// the one tracked metric measured in real seconds, so it inherits the
+// noise of the machine running CI. -fig-threshold overrides any
+// figure's ratio individually (direction stays as declared).
 //
 // Usage:
 //
@@ -36,25 +42,41 @@ import (
 	"nmad"
 )
 
-// figureThresholds holds the built-in per-figure defaults that differ
-// from the global one. The lossy figures replay seeded faults, so their
-// numbers are deterministic — but any intentional change to retransmit
-// or scheduling behavior shifts which packets are dropped, and a single
-// extra timeout on the critical path can double a point. The loose band
-// still catches wedges and systematic blowups.
-var figureThresholds = map[string]float64{
-	"scale-nodes":     2.5,
-	"drop-resilience": 2.5,
+// figRule is a figure's built-in comparison rule: the regression ratio
+// and which direction counts as worse.
+type figRule struct {
+	// Threshold is the worse/better ratio beyond which a point fails:
+	// new/old for lower-is-better figures, old/new for higher-is-better
+	// ones. Zero means "use the global default".
+	Threshold float64
+	// HigherIsBetter flips the regression direction: the point fails
+	// when the metric drops, not when it grows.
+	HigherIsBetter bool
+}
+
+// figureRules holds the built-in per-figure rules that differ from the
+// global lower-is-better default. The lossy figures replay seeded
+// faults, so their numbers are deterministic — but any intentional
+// change to retransmit or scheduling behavior shifts which packets are
+// dropped, and a single extra timeout on the critical path can double a
+// point; the loose band still catches wedges and systematic blowups.
+// engine-speed is the one wall-clock metric (ops/sec, higher is
+// better): direction is inverted and the band is loosened to absorb CI
+// machine noise.
+var figureRules = map[string]figRule{
+	"scale-nodes":     {Threshold: 2.5},
+	"drop-resilience": {Threshold: 2.5},
+	"engine-speed":    {Threshold: 2.0, HigherIsBetter: true},
 }
 
 func main() {
-	threshold := flag.Float64("threshold", 1.2, "fail when new/old exceeds this ratio (1.2 = 20% regression)")
-	figOverrides := flag.String("fig-threshold", "", "per-figure overrides, comma-separated id=ratio pairs (e.g. scale-nodes=2.0)")
+	threshold := flag.Float64("threshold", 1.2, "fail when the regression ratio exceeds this (1.2 = 20% worse)")
+	figOverrides := flag.String("fig-threshold", "", "per-figure ratio overrides, comma-separated id=ratio pairs (e.g. scale-nodes=2.0); direction stays as built in")
 	flag.Parse()
 
-	thresholds := make(map[string]float64, len(figureThresholds))
-	for id, t := range figureThresholds {
-		thresholds[id] = t
+	rules := make(map[string]figRule, len(figureRules))
+	for id, r := range figureRules {
+		rules[id] = r
 	}
 	if *figOverrides != "" {
 		for _, pair := range strings.Split(*figOverrides, ",") {
@@ -64,7 +86,9 @@ func main() {
 				fmt.Fprintf(os.Stderr, "nmad-trend: bad -fig-threshold entry %q (want id=ratio)\n", pair)
 				os.Exit(2)
 			}
-			thresholds[id] = ratio
+			r := rules[id]
+			r.Threshold = ratio
+			rules[id] = r
 		}
 	}
 
@@ -95,7 +119,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	regressions, figLines, compared := compare(oldFigs, newFigs, *threshold, thresholds)
+	regressions, figLines, compared := compare(oldFigs, newFigs, *threshold, rules)
 	fmt.Printf("nmad-trend: %s -> %s: %d points compared, %d regressions (default threshold %.0f%%)\n",
 		oldPath, newPath, compared, len(regressions), (*threshold-1)*100)
 	for _, l := range figLines {
@@ -128,12 +152,13 @@ func loadFigures(path string) ([]nmad.BenchFigure, error) {
 }
 
 // compare walks every (figure, series label, x) present in both files
-// and reports the points whose metric grew beyond the figure's
-// threshold (falling back to the global default). Each compared figure
-// gets one summary line naming the threshold that was applied to it, so
-// the log always shows which band a figure was held to — the built-in
-// loose bands on the lossy figures in particular.
-func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perFigure map[string]float64) (regressions, figLines []string, compared int) {
+// and reports the points whose metric moved in the figure's worse
+// direction beyond its threshold (falling back to the global default).
+// Each compared figure gets one summary line naming the threshold and
+// direction applied to it, so the log always shows which band a figure
+// was held to — the built-in loose bands on the lossy figures and the
+// inverted band on engine-speed in particular.
+func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, rules map[string]figRule) (regressions, figLines []string, compared int) {
 	oldByID := map[string]nmad.BenchFigure{}
 	for _, f := range oldFigs {
 		oldByID[f.ID] = f
@@ -143,11 +168,18 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perF
 		if !ok {
 			continue
 		}
-		threshold := defaultThreshold
-		source := "default"
-		if t, ok := perFigure[nf.ID]; ok {
-			threshold = t
-			source = "per-figure"
+		rule, hasRule := rules[nf.ID]
+		threshold := rule.Threshold
+		source := "per-figure"
+		if threshold == 0 {
+			threshold = defaultThreshold
+			if !hasRule {
+				source = "default"
+			}
+		}
+		direction := "lower is better"
+		if rule.HigherIsBetter {
+			direction = "higher is better"
 		}
 		oldSeries := map[string]map[int]float64{}
 		for _, s := range of.Series {
@@ -169,17 +201,29 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, perF
 					continue
 				}
 				figCompared++
-				if ratio := pt.Y / oldY; ratio > threshold {
+				// The ratio is always "how much worse": for a
+				// higher-is-better figure a drop makes old/new grow.
+				ratio := pt.Y / oldY
+				if rule.HigherIsBetter {
+					if pt.Y <= 0 {
+						regressions = append(regressions, fmt.Sprintf(
+							"figure %s, %s @ x=%d: %.2f -> %.2f (collapsed to zero, %s)",
+							nf.ID, s.Label, pt.X, oldY, pt.Y, direction))
+						continue
+					}
+					ratio = oldY / pt.Y
+				}
+				if ratio > threshold {
 					regressions = append(regressions, fmt.Sprintf(
-						"figure %s, %s @ x=%d: %.2f -> %.2f (%.0f%% worse, threshold %.0f%%)",
-						nf.ID, s.Label, pt.X, oldY, pt.Y, (ratio-1)*100, (threshold-1)*100))
+						"figure %s, %s @ x=%d: %.2f -> %.2f (%.0f%% worse, threshold %.0f%%, %s)",
+						nf.ID, s.Label, pt.X, oldY, pt.Y, (ratio-1)*100, (threshold-1)*100, direction))
 				}
 			}
 		}
 		if figCompared > 0 {
 			figLines = append(figLines, fmt.Sprintf(
-				"figure %-16s %3d points, threshold %.0f%% (%s)",
-				nf.ID, figCompared, (threshold-1)*100, source))
+				"figure %-16s %3d points, threshold %.0f%% (%s, %s)",
+				nf.ID, figCompared, (threshold-1)*100, source, direction))
 		}
 		compared += figCompared
 	}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"nmad"
+
+	"nmad/internal/bench"
+)
+
+func fig(id string, pts map[int]float64) nmad.BenchFigure {
+	s := bench.Series{Label: "replay[aggreg]"}
+	for x, y := range pts {
+		s.Points = append(s.Points, bench.Point{X: x, Y: y})
+	}
+	return nmad.BenchFigure{ID: id, Series: []bench.Series{s}}
+}
+
+func TestCompareLowerIsBetterDefault(t *testing.T) {
+	old := []nmad.BenchFigure{fig("incast", map[int]float64{8: 100})}
+	grew := []nmad.BenchFigure{fig("incast", map[int]float64{8: 150})}
+	shrank := []nmad.BenchFigure{fig("incast", map[int]float64{8: 50})}
+
+	regs, _, compared := compare(old, grew, 1.2, figureRules)
+	if compared != 1 || len(regs) != 1 {
+		t.Fatalf("growth past threshold: compared=%d regressions=%v", compared, regs)
+	}
+	if regs, _, _ := compare(old, shrank, 1.2, figureRules); len(regs) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regs)
+	}
+}
+
+func TestCompareHigherIsBetterInvertsDirection(t *testing.T) {
+	// engine-speed is declared higher-is-better with a 2.0 band: a rise
+	// must pass, a collapse must fail.
+	old := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 40000})}
+	rose := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 90000})}
+	fell := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 15000})}
+	zero := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 0})}
+
+	if regs, _, _ := compare(old, rose, 1.2, figureRules); len(regs) != 0 {
+		t.Fatalf("ops/sec rise flagged as regression: %v", regs)
+	}
+	regs, figLines, _ := compare(old, fell, 1.2, figureRules)
+	if len(regs) != 1 {
+		t.Fatalf("ops/sec collapse not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0], "higher is better") {
+		t.Errorf("regression line does not name the direction: %s", regs[0])
+	}
+	if len(figLines) != 1 || !strings.Contains(figLines[0], "higher is better") {
+		t.Errorf("summary line does not name the direction: %v", figLines)
+	}
+	if regs, _, _ := compare(old, zero, 1.2, figureRules); len(regs) != 1 {
+		t.Fatalf("collapse to zero not flagged: %v", regs)
+	}
+}
+
+func TestCompareWithinBandPasses(t *testing.T) {
+	// A drop within engine-speed's loose 2.0 band is noise, not a
+	// regression.
+	old := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 40000})}
+	dip := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 25000})}
+	if regs, _, _ := compare(old, dip, 1.2, figureRules); len(regs) != 0 {
+		t.Fatalf("within-band dip flagged: %v", regs)
+	}
+}
+
+func TestCompareOverrideKeepsDirection(t *testing.T) {
+	// A -fig-threshold override tightens the ratio but must not flip the
+	// figure back to lower-is-better.
+	rules := map[string]figRule{
+		"engine-speed": {Threshold: 1.1, HigherIsBetter: true},
+	}
+	old := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 40000})}
+	dip := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 35000})}
+	if regs, _, _ := compare(old, dip, 1.2, rules); len(regs) != 1 {
+		t.Fatalf("tightened band did not flag the dip: %v", regs)
+	}
+}

@@ -59,4 +59,10 @@ var (
 	// reproduces identical numbers.
 	BenchSetSeed = bench.SetSeed
 	BenchSeed    = bench.Seed
+	// BenchStartCPUProfile / BenchWriteMemProfile expose the pprof
+	// plumbing behind nmad-bench's -cpuprofile / -memprofile flags: the
+	// reproducible way to profile the engine hot paths is to profile the
+	// figures the trajectory gates.
+	BenchStartCPUProfile = bench.StartCPUProfile
+	BenchWriteMemProfile = bench.WriteMemProfile
 )

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nmad/internal/replay"
+)
+
+// The engine-speed meta-figures measure the simulator's own cost, not
+// simulated time: wall-clock engine operations per second and heap
+// allocations per operation while replaying the canonical composite
+// workload scaled to an N-node ring (replay.RecordCompositeRing). Every
+// other figure gates what the engine *decides*; these gate what the
+// engine *costs* — the profile-driven allocation work (packet/output
+// free lists, small-tag fast paths, encode scratch reuse) is pinned by
+// them in the BENCH_PR*.json trajectory.
+//
+// An "op" is one recorded application-level operation (Isend/Irecv); the
+// denominator is schedule-independent, so ops/sec compares across engine
+// changes as long as the workload config below stays fixed. The
+// measurement includes the replay harness (process spawning, zeroed
+// payload buffers) and the per-node tracers replay always attaches: it
+// is the price of simulating one op end to end.
+//
+// Wall-clock time is allowed here: internal/bench is not one of the
+// deterministic packages (the nmad-vet determinism analyzer does not
+// cover it), and these two figures are exactly the place where real time
+// is the point.
+
+// engineSpeedNodes are the ring sizes the figures sweep.
+var engineSpeedNodes = []int{8, 256, 1024}
+
+// engineSpeedConfig slims the canonical composite so the 1024-node ring
+// stays CI-sized: the op mix (bulk stream, small-flow burst, rendezvous,
+// priority control + reply) is canonical, the byte counts are smaller.
+// Changing this invalidates trajectory comparability — treat it like a
+// wire-format constant.
+func engineSpeedConfig() replay.CompositeConfig {
+	cfg := replay.CanonicalConfig()
+	cfg.Bulk = 2 << 10
+	cfg.NBulk = 8
+	cfg.Large = 32 << 10
+	return cfg
+}
+
+// engineSpeedPoint is one measured ring size.
+type engineSpeedPoint struct {
+	nodes       int
+	ops         int
+	wall        time.Duration
+	opsPerSec   float64
+	allocsPerOp float64
+}
+
+// The two figures share one measurement pass: recording and replaying
+// the 1024-node ring twice to fill two figures would double the bench
+// job for no information.
+var (
+	engineSpeedOnce sync.Once
+	engineSpeedData []engineSpeedPoint
+	engineSpeedErr  error
+)
+
+func engineSpeedMeasure() ([]engineSpeedPoint, error) {
+	engineSpeedOnce.Do(func() {
+		for _, n := range engineSpeedNodes {
+			rec, err := replay.RecordCompositeRing(engineSpeedConfig(), n)
+			if err != nil {
+				engineSpeedErr = fmt.Errorf("bench: engine-speed recording (%d nodes): %w", n, err)
+				return
+			}
+			ops := len(rec.Ops())
+			var m0, m1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&m0)
+			t0 := time.Now()
+			res, err := replay.Run(rec, replay.Config{})
+			wall := time.Since(t0)
+			runtime.ReadMemStats(&m1)
+			if err != nil {
+				engineSpeedErr = fmt.Errorf("bench: engine-speed replay (%d nodes): %w", n, err)
+				return
+			}
+			if res.RequestErrors > 0 {
+				engineSpeedErr = fmt.Errorf("bench: engine-speed replay (%d nodes): %d request errors", n, res.RequestErrors)
+				return
+			}
+			pt := engineSpeedPoint{nodes: n, ops: ops, wall: wall}
+			if wall > 0 {
+				pt.opsPerSec = float64(ops) / wall.Seconds()
+			}
+			if ops > 0 {
+				pt.allocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(ops)
+			}
+			engineSpeedData = append(engineSpeedData, pt)
+		}
+	})
+	return engineSpeedData, engineSpeedErr
+}
+
+// engineSpeedNotes renders the shared per-point detail both figures
+// carry, so either file alone documents the measurement.
+func engineSpeedNotes(pts []engineSpeedPoint) []string {
+	cfg := engineSpeedConfig()
+	notes := []string{
+		fmt.Sprintf("composite ring per node: %d x %dK bulk, %d small, %dK rendezvous, control + reply (strategy %s)",
+			cfg.NBulk, cfg.Bulk>>10, cfg.Small, cfg.Large>>10, cfg.Strategy),
+		"ops = recorded Isend/Irecv count; wall clock includes the replay harness and per-node tracers",
+	}
+	for _, pt := range pts {
+		notes = append(notes, fmt.Sprintf(
+			"%d nodes: %d ops in %.0f ms, %.0f ops/sec, %.1f allocs/op",
+			pt.nodes, pt.ops, float64(pt.wall)/float64(time.Millisecond), pt.opsPerSec, pt.allocsPerOp))
+	}
+	return notes
+}
+
+// FigEngineSpeed is the wall-clock throughput meta-figure. Higher is
+// better: nmad-trend carries a per-figure direction for it, failing when
+// throughput drops past the threshold instead of when it rises.
+func FigEngineSpeed() (Figure, error) {
+	pts, err := engineSpeedMeasure()
+	if err != nil {
+		return Figure{}, err
+	}
+	s := Series{Label: "replay[aggreg]", Strategy: "aggreg"}
+	for _, pt := range pts {
+		s.Points = append(s.Points, Point{X: pt.nodes, Y: pt.opsPerSec})
+	}
+	return Figure{
+		ID:     "engine-speed",
+		Title:  "Engine speed — wall-clock ops/sec replaying the composite ring (higher is better)",
+		XLabel: "ring nodes",
+		YLabel: "engine ops/sec (wall clock)",
+		Series: []Series{s},
+		Notes:  engineSpeedNotes(pts),
+	}, nil
+}
+
+// FigEngineAllocs is the allocation-cost meta-figure: heap allocations
+// per replayed op, from the runtime's Mallocs counter around the replay.
+// Lower is better, like every other figure.
+func FigEngineAllocs() (Figure, error) {
+	pts, err := engineSpeedMeasure()
+	if err != nil {
+		return Figure{}, err
+	}
+	s := Series{Label: "replay[aggreg]", Strategy: "aggreg"}
+	for _, pt := range pts {
+		s.Points = append(s.Points, Point{X: pt.nodes, Y: pt.allocsPerOp})
+	}
+	return Figure{
+		ID:     "engine-allocs",
+		Title:  "Engine allocation cost — heap allocations per op replaying the composite ring",
+		XLabel: "ring nodes",
+		YLabel: "allocations per op",
+		Series: []Series{s},
+		Notes:  engineSpeedNotes(pts),
+	}, nil
+}

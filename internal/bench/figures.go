@@ -527,6 +527,8 @@ var figureList = []struct {
 	{"ablation-sampling", "bandwidth sampling under congestion (cold vs warmed split plan)", AblationSampling},
 	{"scale-nodes", "collective completion vs emulated job size, 8..1024 nodes, lossless vs 1% drop", FigScaleNodes},
 	{"drop-resilience", "8-node allgather completion vs packet-drop probability per strategy", FigDropResilience},
+	{"engine-speed", "meta: wall-clock engine ops/sec replaying the composite ring at 8/256/1024 nodes", FigEngineSpeed},
+	{"engine-allocs", "meta: heap allocations per op replaying the composite ring at 8/256/1024 nodes", FigEngineAllocs},
 }
 
 // FigureIDs lists the registry keys in stable (sorted) order.

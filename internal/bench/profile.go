@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiling hooks for the nmad-bench CLI (-cpuprofile / -memprofile):
+// the reproducible way to profile the engine hot paths is to profile the
+// bench figures themselves — `nmad-bench -fig engine-speed -cpuprofile
+// cpu.out` profiles exactly the workload the trajectory gates.
+
+// StartCPUProfile begins a CPU profile into path and returns the stop
+// function that finishes the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("bench: cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteMemProfile writes the heap allocation profile to path. A GC runs
+// first so the live-object numbers are current; the alloc_space /
+// alloc_objects views (what the engine-allocs figure tracks) cover
+// everything allocated since process start either way.
+func WriteMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: mem profile: %w", err)
+	}
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: mem profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// Allocation regression pins for the engine hot paths. The free-list
+// recycling in pool.go exists to keep the marginal cost of a message
+// small and flat; these tests measure that marginal cost directly —
+// the difference in allocations between a long and a short run of the
+// same workload, divided by the extra messages — so world and engine
+// construction cancel out exactly. The ceilings are set ~30% above the
+// measured figure: loose enough to absorb compiler-version drift,
+// tight enough that reintroducing even one per-message allocation on
+// the pinned path (a wrapper, a train header slice, a map insert)
+// fails the test.
+
+// allocEngines mirrors testWorld without *testing.T so workloads can
+// run inside testing.AllocsPerRun; construction errors panic, which
+// fails the test just as loudly.
+func allocEngines(opts Options) (*sim.World, *Engine, *Engine) {
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		panic(err)
+	}
+	mk := func(id simnet.NodeID) *Engine {
+		e, err := New(f, id, opts)
+		if err != nil {
+			panic(err)
+		}
+		if err := e.AttachFabric(f); err != nil {
+			panic(err)
+		}
+		return e
+	}
+	return w, mk(0), mk(1)
+}
+
+// marginalAllocs returns allocations per extra message between a short
+// and a long run of the same workload.
+func marginalAllocs(run func(msgs int), short, long int) float64 {
+	run(4) // warm lazy runtime and package init paths out of the measurement
+	a1 := testing.AllocsPerRun(5, func() { run(short) })
+	a2 := testing.AllocsPerRun(5, func() { run(long) })
+	return (a2 - a1) / float64(long-short)
+}
+
+// eagerWorkload pushes msgs eager-sized messages through one gate pair
+// and receives them; buffers are reused so the measurement sees the
+// engine's allocations, not the harness's.
+func eagerWorkload(opts Options) func(msgs int) {
+	return func(msgs int) {
+		w, e0, e1 := allocEngines(opts)
+		data := make([]byte, 512)
+		buf := make([]byte, 1024)
+		w.Spawn("send", func(p *sim.Proc) {
+			for i := 0; i < msgs; i++ {
+				e0.Gate(1).Isend(p, 7, data)
+			}
+		})
+		w.Spawn("recv", func(p *sim.Proc) {
+			for i := 0; i < msgs; i++ {
+				if _, err := e1.Gate(0).Recv(p, 7, buf); err != nil {
+					panic(err)
+				}
+			}
+		})
+		if err := w.Run(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// The eager Isend path: wrapper, window push, election, train encode,
+// NIC round trip, dispatch, match, completion. With recycling this
+// whole cycle must stay in single-digit allocations per message.
+func TestAllocsEagerIsendPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	opts := DefaultOptions()
+	opts.Strategy = "aggreg"
+	got := marginalAllocs(eagerWorkload(opts), 64, 320)
+	t.Logf("eager Isend path: %.2f allocs per message", got)
+	const ceiling = 10
+	if got > ceiling {
+		t.Errorf("eager Isend path allocates %.2f per message, ceiling %d — a hot-path allocation crept back in", got, ceiling)
+	}
+}
+
+// The flush path: a FlushBacklog budget forces periodic whole-backlog
+// elections, the path that builds the largest trains (and therefore
+// leaned hardest on per-train header/segment slice churn before the
+// encode scratch existed).
+func TestAllocsFlushPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	opts := DefaultOptions()
+	opts.Strategy = "aggreg"
+	opts.FlushBacklog = 4
+	got := marginalAllocs(eagerWorkload(opts), 64, 320)
+	t.Logf("flush path: %.2f allocs per message", got)
+	const ceiling = 13
+	if got > ceiling {
+		t.Errorf("flush path allocates %.2f per message, ceiling %d — a hot-path allocation crept back in", got, ceiling)
+	}
+}
+
+// The same eager workload with recycling disabled must allocate
+// strictly more than the pooled run — if it does not, the pools are
+// dead code and the NoRecycle A/B (and the pooling property test that
+// relies on it) is comparing a path against itself.
+func TestAllocsRecyclingActuallyRecycles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	opts := DefaultOptions()
+	opts.Strategy = "aggreg"
+	pooled := marginalAllocs(eagerWorkload(opts), 64, 320)
+	opts.NoRecycle = true
+	fresh := marginalAllocs(eagerWorkload(opts), 64, 320)
+	t.Logf("pooled %.2f vs no-recycle %.2f allocs per message", pooled, fresh)
+	if pooled >= fresh {
+		t.Errorf("recycling saves nothing: %.2f allocs pooled vs %.2f without", pooled, fresh)
+	}
+}

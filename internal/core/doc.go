@@ -35,4 +35,23 @@
 // pieces of data located anywhere in user space, delimited by begin/end
 // calls) and a tagged Isend/Irecv/Wait/Test interface on which MAD-MPI
 // (package madmpi) is built.
+//
+// # Engine performance
+//
+// The engine's own cost is held down by free-list recycling (pool.go):
+// packet wrappers, output trains, held receive entries and the
+// per-train encode scratch are recycled on plain per-engine slices.
+// sync.Pool is deliberately not used — its GC-driven emptying would
+// couple allocation behavior to collector timing in packages that
+// promise determinism. The ownership rules that make recycling safe
+// are documented in pool.go; the short form is that wrappers own their
+// iovec backing (isendIov copies the caller's segment headers), the
+// NIC snapshots gather segments at Submit time, and strategies cannot
+// retain window views (the spileak analyzer enforces the SPI aliasing
+// contract). Options.NoRecycle turns every pool off for A/B
+// comparison: the replayed timeline must be byte-identical either way,
+// which the pooling property test in internal/replay asserts. The
+// engine-speed and engine-allocs figures in internal/bench track the
+// resulting ops/sec and allocs/op per PR, and allocation-regression
+// pins live in alloc_test.go.
 package core

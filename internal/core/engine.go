@@ -83,6 +83,14 @@ type Options struct {
 	// deferred CTS until an active transaction retires. 0 means
 	// unbounded.
 	MaxGrants int
+	// NoRecycle disables the engine's free-list recycling of packet
+	// wrappers, output trains and receive entries (see pool.go), making
+	// every hot-path object a fresh allocation. It exists as the A/B
+	// escape hatch for the pooling property test and for leak hunting;
+	// the virtual timeline and Stats must be byte-identical either way.
+	// The flag is deliberately not part of the recorded NodeConfig — it
+	// changes nothing a replay could observe.
+	NoRecycle bool
 	// Tracer, when non-nil, records every scheduling decision on the
 	// virtual timeline (see package trace).
 	Tracer *trace.Recorder
@@ -155,6 +163,18 @@ type Engine struct {
 
 	cond  *sim.Cond
 	stats Stats
+
+	// Free-list recycling and encode scratch (see pool.go). All
+	// per-engine and unsynchronized: the world is single-threaded.
+	freePkts []*packet
+	freeOuts []*output
+	freeEnts []*inEntry
+	encHdrs  []byte
+	encSegs  [][]byte
+	// railScratch backs railInfos() so the per-body-plan rail survey
+	// stops allocating (strategies must not retain the slice — the
+	// spileak analyzer enforces that).
+	railScratch []sched.RailInfo
 }
 
 // New creates an engine for one node of a fabric. Drivers must then be
@@ -243,6 +263,7 @@ func (e *Engine) Attach(drv drivers.Driver) error {
 	e.stats.PerDriverBytes = append(e.stats.PerDriverBytes, 0)
 	for _, g := range e.gateOrder {
 		g.win.perDriver = append(g.win.perDriver, nil)
+		g.views = append(g.views, windowView{g: g, drv: idx})
 	}
 	if a, ok := e.strat.(sched.Attacher); ok {
 		a.OnAttach(e.railInfo(idx))
@@ -314,13 +335,18 @@ func (e *Engine) Gate(peer simnet.NodeID) *Gate {
 	if g, ok := e.gates[peer]; ok {
 		return g
 	}
+	// The per-flow maps (sendSeq, flows) are made lazily: the flat
+	// tag-slot fast path covers every tag a typical run ever mints, so
+	// most gates never pay for the maps at all.
 	g := &Gate{
 		eng:     e,
 		peer:    peer,
 		win:     newWindow(len(e.drvs)),
-		sendSeq: make(map[Tag]SeqNum),
-		flows:   make(map[Tag]*rxFlow),
+		views:   make([]windowView, len(e.drvs)),
 		credits: e.opts.Credits,
+	}
+	for i := range g.views {
+		g.views[i] = windowView{g: g, drv: i}
 	}
 	e.gates[peer] = g
 	e.gateOrder = append(e.gateOrder, g)
@@ -664,7 +690,6 @@ func (e *Engine) feed(g *Gate, drv int, out *output) {
 // completions and bandwidth sampling, and pre-stages the next packet if
 // anticipation is on.
 func (e *Engine) send(g *Gate, drv int, out *output) {
-	segs := out.encode()
 	entries := out.entries
 	payload := 0
 	for _, pw := range entries {
@@ -677,13 +702,14 @@ func (e *Engine) send(g *Gate, drv int, out *output) {
 	// aggregation-heavy trains the adaptive strategy watches.
 	wire := out.wireSize()
 	if e.opts.Reliability {
-		e.linkSend(g, drv, out, segs, payload, wire)
-		e.traceEvent(trace.Depart, g.peer, drv, 0, payload, len(out.entries), "")
+		e.linkSend(g, drv, out, payload, wire)
+		e.traceEvent(trace.Depart, g.peer, drv, 0, payload, len(entries), "")
 		if e.opts.Anticipate {
 			e.stage(drv)
 		}
 		return
 	}
+	segs := e.encodeOutput(out, nil)
 	t0 := e.world.Now()
 	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {
 		e.samplers[drv].observe(wire, e.world.Now()-t0)
@@ -696,6 +722,12 @@ func (e *Engine) send(g *Gate, drv int, out *output) {
 				pw.req.doneOne()
 			}
 		}
+		// The NIC is done with the train: recycle the wrappers and the
+		// output (the completions above were the last readers).
+		for _, pw := range entries {
+			e.freePacket(pw)
+		}
+		e.freeOutput(out)
 	})
 	if err != nil {
 		panic(fmt.Sprintf("core: strategy %s built an unsendable packet: %v", e.strat.Name(), err))

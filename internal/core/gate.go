@@ -12,12 +12,26 @@ type Gate struct {
 	eng  *Engine
 	peer simnet.NodeID
 	win  *window
+	// views holds the per-rail sched.Window adapters, one per attached
+	// driver, so elections pass a pointer into this array instead of
+	// boxing a fresh view per Elect call (see strategy.go).
+	views []windowView
 
-	// sender side: next sequence number per flow tag.
+	// sender side: next sequence number per flow tag. A gate typically
+	// carries a handful of distinct tags, so the first tagSlots of them
+	// live in a flat association array scanned linearly; sendSeq is made
+	// lazily, only for gates exceeding the slots.
+	seqTags [tagSlots]Tag
+	seqVals [tagSlots]SeqNum
+	seqN    int
 	sendSeq map[Tag]SeqNum
 
 	// receiver side: resequencing per flow, posted receives, unexpected
-	// arrivals.
+	// arrivals. The flow lookup uses the same flat-slots-then-map scheme
+	// as the sender sequence numbers.
+	flowTags   [tagSlots]Tag
+	flowVals   [tagSlots]*rxFlow
+	flowN      int
 	flows      map[Tag]*rxFlow
 	posted     []*RecvRequest
 	unexpected []*inEntry
@@ -141,17 +155,19 @@ func (g *Gate) isendIov(p *sim.Proc, tag Tag, iov iovec, cfg sendConfig) *SendRe
 	}
 	req := &SendRequest{request: request{eng: g.eng}, tag: tag, bytes: size}
 	req.add(1)
-	pw := &packet{
-		gate:   g,
-		kind:   kindData,
-		flags:  cfg.flags,
-		tag:    tag,
-		seq:    g.seqFor(tag, cfg.flags),
-		iov:    iov,
-		size:   uint32(size),
-		driver: cfg.driver,
-		req:    req,
-	}
+	// The wrapper comes from the engine free list; the iovec's segment
+	// headers are copied into the wrapper-owned backing array (reused
+	// across recycles), never aliasing the caller's slice.
+	pw := g.eng.newPacket()
+	pw.gate = g
+	pw.kind = kindData
+	pw.flags = cfg.flags
+	pw.tag = tag
+	pw.seq = g.seqFor(tag, cfg.flags)
+	pw.iov = append(pw.iov, iov...)
+	pw.size = uint32(size)
+	pw.driver = cfg.driver
+	pw.req = req
 	if cfg.flags&FlagNeedAck != 0 {
 		// Synchronous semantics: an extra completion unit retired only by
 		// the receiver's ack.
@@ -287,8 +303,32 @@ func (g *Gate) dropData(pw *packet) {
 	}
 }
 
+// tagSlots is how many distinct flow tags per gate the flat fast-path
+// association arrays hold before falling back to a map. Tags are
+// arbitrary 64-bit values (MAD-MPI packs the communicator id into the
+// high bits), so the slots pair tag and value rather than indexing by
+// tag; a linear scan over at most tagSlots entries beats a map probe —
+// and its allocation — for every workload the repo runs.
+const tagSlots = 8
+
 // nextSeq assigns the next sender-side sequence number of a flow.
 func (g *Gate) nextSeq(tag Tag) SeqNum {
+	for i := 0; i < g.seqN; i++ {
+		if g.seqTags[i] == tag {
+			s := g.seqVals[i]
+			g.seqVals[i] = s + 1
+			return s
+		}
+	}
+	if g.seqN < tagSlots {
+		g.seqTags[g.seqN] = tag
+		g.seqVals[g.seqN] = 1
+		g.seqN++
+		return 0
+	}
+	if g.sendSeq == nil {
+		g.sendSeq = make(map[Tag]SeqNum)
+	}
 	s := g.sendSeq[tag]
 	g.sendSeq[tag] = s + 1
 	return s
@@ -310,15 +350,14 @@ func (g *Gate) seqFor(tag Tag, flags Flags) SeqNum {
 // wrappers are priority + unordered and ride the common list so the first
 // idle rail carries them.
 func (g *Gate) pushCtrl(kind entryKind, tag Tag, size uint32, rdvID uint32) {
-	pw := &packet{
-		gate:   g,
-		kind:   kind,
-		flags:  FlagPriority | FlagUnordered,
-		tag:    tag,
-		size:   size,
-		aux:    rdvID,
-		driver: AnyDriver,
-	}
+	pw := g.eng.newPacket()
+	pw.gate = g
+	pw.kind = kind
+	pw.flags = FlagPriority | FlagUnordered
+	pw.tag = tag
+	pw.size = size
+	pw.aux = rdvID
+	pw.driver = AnyDriver
 	g.eng.submit(pw)
 }
 
@@ -333,6 +372,9 @@ func (g *Gate) PendingPosted() int { return len(g.posted) }
 // buffers across all flows (diagnostics).
 func (g *Gate) PendingHeld() int {
 	n := 0
+	for i := 0; i < g.flowN; i++ {
+		n += len(g.flowVals[i].held)
+	}
 	for _, f := range g.flows {
 		n += len(f.held)
 	}

@@ -52,17 +52,16 @@ func (m *Message) pack(p *sim.Proc, data []byte, flags Flags) {
 	m.g.eng.chargeSubmit(p)
 	m.req.add(1)
 	m.req.bytes += len(data)
-	pw := &packet{
-		gate:   m.g,
-		kind:   kindData,
-		flags:  flags,
-		tag:    m.tag,
-		seq:    m.g.seqFor(m.tag, flags),
-		iov:    singleIov(data),
-		size:   uint32(len(data)),
-		driver: m.cfg.driver,
-		req:    m.req,
-	}
+	pw := m.g.eng.newPacket()
+	pw.gate = m.g
+	pw.kind = kindData
+	pw.flags = flags
+	pw.tag = m.tag
+	pw.seq = m.g.seqFor(m.tag, flags)
+	pw.iov = append(pw.iov, data)
+	pw.size = uint32(len(data))
+	pw.driver = m.cfg.driver
+	pw.req = m.req
 	m.g.eng.submit(pw)
 }
 

@@ -198,42 +198,26 @@ func filterOut(list []*packet) []*packet {
 }
 
 // output is one physical packet synthesized by a strategy: an ordered
-// train of wrappers bound for the same gate over one rail.
+// train of wrappers bound for the same gate over one rail. The segment
+// and wire totals are maintained incrementally by add, so the accounting
+// and encode paths never recount the train.
 type output struct {
 	entries []*packet
+	segs    int // running gather-segment total
+	wire    int // running wire-byte total
 }
 
-// encode turns the output into a NIC gather list: one segment per header,
-// one per payload segment. Headers are packed into a single backing array
-// to keep allocation flat.
-func (o *output) encode() [][]byte {
-	hdrs := make([]byte, 0, headerSize*len(o.entries))
-	segs := make([][]byte, 0, 2*len(o.entries))
-	for _, pw := range o.entries {
-		start := len(hdrs)
-		hdrs = encodeHeader(hdrs, pw.header())
-		segs = append(segs, hdrs[start:start+headerSize])
-		if pw.kind.hasPayload() {
-			segs = pw.iov.appendSegs(segs)
-		}
-	}
-	return segs
+// add appends one wrapper to the train, keeping the running totals
+// current (encodeOutput pre-sizes its scratch from them, and account
+// books wireSize twice per train).
+func (o *output) add(pw *packet) {
+	o.entries = append(o.entries, pw)
+	o.segs += pw.segCount()
+	o.wire += pw.wireSize()
 }
 
 // segCount is the total gather segments the output needs.
-func (o *output) segCount() int {
-	n := 0
-	for _, pw := range o.entries {
-		n += pw.segCount()
-	}
-	return n
-}
+func (o *output) segCount() int { return o.segs }
 
 // wireSize is the total payload handed to the NIC.
-func (o *output) wireSize() int {
-	n := 0
-	for _, pw := range o.entries {
-		n += pw.wireSize()
-	}
-	return n
-}
+func (o *output) wireSize() int { return o.wire }

@@ -1,0 +1,146 @@
+package core
+
+// Free-list recycling for the engine hot path. Every eager send allocates
+// a packet wrapper, every elected train an output, every out-of-order or
+// unexpected arrival an inEntry — at replay scale these dominate the
+// engine's allocation profile. The engine recycles them through plain
+// per-engine free lists rather than sync.Pool: the deterministic packages
+// must not couple behaviour (or even allocation addresses feeding map
+// iteration) to GC timing, and a World is single-threaded by construction
+// so an unsynchronized slice is all the machinery needed.
+//
+// Ownership rules, enforced by the call sites:
+//
+//   - A wrapper is freed exactly once, by whoever learns the NIC (or the
+//     conversion that replaced it) is done with it: the send-completion
+//     callback for elected entries, convertToRTS for the data wrapper a
+//     rendezvous request replaces.
+//   - A freed wrapper's iov backing array is kept for reuse, so whoever
+//     transfers the payload out (convertToRTS handing the body to the
+//     rendezvous state) must nil the field first.
+//   - Strategies never see wrappers after election (the spileak analyzer
+//     forbids retaining SPI views), so recycling cannot dangle into sched.
+//
+// Options.NoRecycle turns the free lists off for A/B testing; the
+// timeline must be byte-identical either way (see the pooling property
+// test in package replay).
+
+// newPacket returns a zeroed wrapper, recycled when the free list has
+// one. The iov field may carry a non-nil empty slice whose backing array
+// is reused by the append at the fill site.
+func (e *Engine) newPacket() *packet {
+	if n := len(e.freePkts) - 1; n >= 0 {
+		pw := e.freePkts[n]
+		e.freePkts[n] = nil
+		e.freePkts = e.freePkts[:n]
+		return pw
+	}
+	return &packet{}
+}
+
+// freePacket recycles a wrapper the engine is completely done with. The
+// payload segment headers are dropped (they point into user buffers) but
+// the iov backing array is kept, so steady-state sends stop allocating
+// the per-wrapper iovec.
+func (e *Engine) freePacket(pw *packet) {
+	if e.opts.NoRecycle {
+		return
+	}
+	iov := pw.iov
+	for i := range iov {
+		iov[i] = nil
+	}
+	*pw = packet{iov: iov[:0]}
+	e.freePkts = append(e.freePkts, pw)
+}
+
+// newOutput returns an empty output train, reusing a recycled one's
+// entries backing array.
+func (e *Engine) newOutput() *output {
+	if n := len(e.freeOuts) - 1; n >= 0 {
+		out := e.freeOuts[n]
+		e.freeOuts[n] = nil
+		e.freeOuts = e.freeOuts[:n]
+		return out
+	}
+	return &output{}
+}
+
+// freeOutput recycles an output whose entries have all been freed (or
+// were never filled).
+func (e *Engine) freeOutput(out *output) {
+	if e.opts.NoRecycle {
+		return
+	}
+	for i := range out.entries {
+		out.entries[i] = nil
+	}
+	out.entries = out.entries[:0]
+	out.segs, out.wire = 0, 0
+	e.freeOuts = append(e.freeOuts, out)
+}
+
+// newInEntry returns a filled receive-side entry (resequencing hold or
+// unexpected arrival), recycled when possible.
+func (e *Engine) newInEntry(h header, payload []byte) *inEntry {
+	var ent *inEntry
+	if n := len(e.freeEnts) - 1; n >= 0 {
+		ent = e.freeEnts[n]
+		e.freeEnts[n] = nil
+		e.freeEnts = e.freeEnts[:n]
+	} else {
+		ent = &inEntry{}
+	}
+	ent.h = h
+	ent.payload = payload
+	ent.at = e.world.Now()
+	return ent
+}
+
+// freeInEntry recycles an entry whose payload has been consumed (the
+// copy into the user buffer happens synchronously in consume, so the
+// entry is dead the moment the match returns).
+func (e *Engine) freeInEntry(ent *inEntry) {
+	if e.opts.NoRecycle {
+		return
+	}
+	*ent = inEntry{}
+	e.freeEnts = append(e.freeEnts, ent)
+}
+
+// encodeOutput turns an output train into the NIC gather list: one
+// segment per entry header, one per payload segment, preceded by link
+// when the reliability layer frames the train. Headers pack into the
+// engine's scratch byte array and the list itself reuses the engine's
+// scratch segment slice — both are dead the moment the driver's Send
+// returns, because the NIC snapshots the bytes at Submit time and the
+// software-gather bounce path flattens before queueing.
+//
+// The header array is pre-sized from the output's running wire totals
+// (maintained by output.add at election time), so the appends below
+// never reallocate — segment pointers into hdrs stay valid.
+func (e *Engine) encodeOutput(out *output, link []byte) [][]byte {
+	need := headerSize * len(out.entries)
+	hdrs := e.encHdrs[:0]
+	if cap(hdrs) < need {
+		hdrs = make([]byte, 0, need)
+	}
+	segs := e.encSegs[:0]
+	if cap(segs) < out.segCount()+1 {
+		segs = make([][]byte, 0, out.segCount()+1)
+	}
+	if link != nil {
+		segs = append(segs, link)
+	}
+	for _, pw := range out.entries {
+		start := len(hdrs)
+		hdrs = encodeHeader(hdrs, pw.header())
+		segs = append(segs, hdrs[start:start+headerSize])
+		if pw.kind.hasPayload() {
+			segs = pw.iov.appendSegs(segs)
+		}
+	}
+	e.encHdrs = hdrs
+	e.encSegs = segs
+	return segs
+}

@@ -162,33 +162,38 @@ func (e *Engine) convertToRTS(pw *packet) *packet {
 	e.nextRdvID++
 	id := e.nextRdvID
 	size := pw.payloadLen()
-	rts := &packet{
-		gate:   pw.gate,
-		kind:   kindRTS,
-		flags:  pw.flags,
-		tag:    pw.tag,
-		seq:    pw.seq,
-		size:   uint32(size),
-		aux:    id,
-		driver: pw.driver,
-		req:    pw.req,
-	}
+	g := pw.gate
+	rts := e.newPacket()
+	rts.gate = g
+	rts.kind = kindRTS
+	rts.flags = pw.flags
+	rts.tag = pw.tag
+	rts.seq = pw.seq
+	rts.size = uint32(size)
+	rts.aux = id
+	rts.driver = pw.driver
+	rts.req = pw.req
 	e.rdvSend[id] = &rdvSend{
 		id:   id,
-		gate: pw.gate,
+		gate: g,
 		tag:  pw.tag,
 		seq:  pw.seq,
 		body: pw.iov,
 		req:  pw.req,
 	}
-	if !pw.gate.win.replace(pw, rts) {
+	if !g.win.replace(pw, rts) {
 		panic("core: rendezvous conversion of a wrapper not in the window")
 	}
 	if e.opts.Credits > 0 {
-		pw.gate.dropData(pw) // rendezvous traffic is credit-exempt
+		g.dropData(pw) // rendezvous traffic is credit-exempt
 	}
 	e.stats.RdvStarted++
-	e.traceEvent(trace.RdvStart, pw.gate.peer, -1, pw.tag, size, 0, "")
+	e.traceEvent(trace.RdvStart, g.peer, -1, pw.tag, size, 0, "")
+	// The data wrapper is fully replaced: the rendezvous state owns its
+	// iovec now (nil it so recycling cannot reuse the backing array under
+	// the body), and nothing else references the wrapper.
+	pw.iov = nil
+	e.freePacket(pw)
 	return rts
 }
 
@@ -448,18 +453,17 @@ func (e *Engine) streamBody(rs *rdvSend, granted int, reissue bool) {
 		e.stats.BodyBytes += int64(c.len)
 		// Non-RDMA rail: the chunk flows through the window as an eager
 		// entry bound for the registered landing buffer.
-		pw := &packet{
-			gate:   rs.gate,
-			kind:   kindChunk,
-			flags:  FlagUnordered,
-			tag:    rs.tag,
-			seq:    SeqNum(uint32(c.off)), // chunk offset rides the seq field
-			iov:    data,
-			size:   uint32(c.len),
-			aux:    rs.id,
-			driver: c.drv,
-			req:    chunkReq, // feed retires one unit per chunk entry
-		}
+		pw := e.newPacket()
+		pw.gate = rs.gate
+		pw.kind = kindChunk
+		pw.flags = FlagUnordered
+		pw.tag = rs.tag
+		pw.seq = SeqNum(uint32(c.off)) // chunk offset rides the seq field
+		pw.iov = append(pw.iov, data...)
+		pw.size = uint32(c.len)
+		pw.aux = rs.id
+		pw.driver = c.drv
+		pw.req = chunkReq // feed retires one unit per chunk entry
 		if !reissue {
 			pw.onSent = retire
 		}

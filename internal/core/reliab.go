@@ -93,7 +93,7 @@ func linkHeader(sub uint32, seq uint32, floor uint32) []byte {
 
 // linkSend frames one output as a reliable link frame and hands it to
 // the driver: the engine.send path when Options.Reliability is on.
-func (e *Engine) linkSend(g *Gate, drv int, out *output, segs [][]byte, payload, wire int) {
+func (e *Engine) linkSend(g *Gate, drv int, out *output, payload, wire int) {
 	if g.ltx.unacked == nil {
 		g.ltx.unacked = make(map[uint32]*linkFrame)
 	}
@@ -105,10 +105,14 @@ func (e *Engine) linkSend(g *Gate, drv int, out *output, segs [][]byte, payload,
 	g.lrx.ackPending = false
 	g.lrx.ackGen++
 
+	// The link header travels as the leading gather segment (electOutput
+	// reserved the slot).
+	segs := e.encodeOutput(out, hdr)
+
 	// Snapshot the train for retransmission — the payload segments point
-	// into user buffers the application may reuse once the NIC is done.
+	// into user buffers the application may reuse once the NIC is done,
+	// and the header scratch is reused by the next encode.
 	flat := make([]byte, 0, headerSize+wire)
-	flat = append(flat, hdr...)
 	for _, s := range segs {
 		flat = append(flat, s...)
 	}
@@ -118,8 +122,7 @@ func (e *Engine) linkSend(g *Gate, drv int, out *output, segs [][]byte, payload,
 	e.stats.WireBytes += headerSize
 	entries := out.entries
 	t0 := e.world.Now()
-	txSegs := append([][]byte{hdr}, segs...)
-	err := e.drvs[drv].Send(g.peer, simnet.TxEager, txSegs, 0, func() {
+	err := e.drvs[drv].Send(g.peer, simnet.TxEager, segs, 0, func() {
 		e.samplers[drv].observe(headerSize+wire, e.world.Now()-t0)
 		e.notifyComplete(drv, g.peer, payload, len(entries), e.world.Now()-t0)
 		for _, pw := range entries {
@@ -130,6 +133,12 @@ func (e *Engine) linkSend(g *Gate, drv int, out *output, segs [][]byte, payload,
 				pw.req.doneOne()
 			}
 		}
+		// The retained frame keeps its own flattened copy of the train,
+		// so the wrappers are dead even with retransmissions ahead.
+		for _, pw := range entries {
+			e.freePacket(pw)
+		}
+		e.freeOutput(out)
 		e.linkArm(g, fr)
 	})
 	if err != nil {

@@ -25,7 +25,9 @@ import (
 // Gate.ProtocolErrors.
 var ErrProtocol = errors.New("core: protocol anomaly")
 
-// rxFlow is the resequencing state of one (gate, tag) flow.
+// rxFlow is the resequencing state of one (gate, tag) flow. The held map
+// is made lazily at the first out-of-order arrival: an in-order flow —
+// the overwhelmingly common case — never allocates it.
 type rxFlow struct {
 	next SeqNum
 	held map[SeqNum]*inEntry
@@ -38,11 +40,27 @@ type inEntry struct {
 	at      sim.Time
 }
 
-// flow returns (creating on demand) the resequencing state for a tag.
+// flow returns (creating on demand) the resequencing state for a tag,
+// through the gate's flat tag slots first (see tagSlots).
 func (g *Gate) flow(tag Tag) *rxFlow {
+	for i := 0; i < g.flowN; i++ {
+		if g.flowTags[i] == tag {
+			return g.flowVals[i]
+		}
+	}
+	if g.flowN < tagSlots {
+		f := &rxFlow{}
+		g.flowTags[g.flowN] = tag
+		g.flowVals[g.flowN] = f
+		g.flowN++
+		return f
+	}
 	f := g.flows[tag]
 	if f == nil {
-		f = &rxFlow{held: make(map[SeqNum]*inEntry)}
+		if g.flows == nil {
+			g.flows = make(map[Tag]*rxFlow)
+		}
+		f = &rxFlow{}
 		g.flows[tag] = f
 	}
 	return f
@@ -113,6 +131,7 @@ func (e *Engine) dispatch(src simnet.NodeID, h header, payload []byte) {
 				}
 				delete(f.held, f.next)
 				e.deliver(g, ent.h, ent.payload)
+				e.freeInEntry(ent) // deliver copied or re-parked the payload
 				f.next++
 			}
 		case h.seq > f.next:
@@ -125,7 +144,10 @@ func (e *Engine) dispatch(src simnet.NodeID, h header, payload []byte) {
 				}
 				return
 			}
-			f.held[h.seq] = &inEntry{h: h, payload: payload, at: e.world.Now()}
+			if f.held == nil {
+				f.held = make(map[SeqNum]*inEntry)
+			}
+			f.held[h.seq] = e.newInEntry(h, payload)
 			e.stats.Reordered++
 			if len(f.held) > e.stats.PeakHeld {
 				e.stats.PeakHeld = len(f.held)
@@ -154,7 +176,7 @@ func (e *Engine) deliver(g *Gate, h header, payload []byte) {
 			return
 		}
 	}
-	g.unexpected = append(g.unexpected, &inEntry{h: h, payload: payload, at: e.world.Now()})
+	g.unexpected = append(g.unexpected, e.newInEntry(h, payload))
 	e.stats.Unexpected++
 	if len(g.unexpected) > e.stats.PeakUnexpected {
 		e.stats.PeakUnexpected = len(g.unexpected)
@@ -170,6 +192,9 @@ func (g *Gate) matchUnexpected(r *RecvRequest) bool {
 		if r.matchesTag(ent.h.tag) {
 			g.unexpected = append(g.unexpected[:i], g.unexpected[i+1:]...)
 			g.eng.consume(g, r, ent.h, ent.payload)
+			// consume copies the payload synchronously (only the request
+			// completion is deferred), so the entry is dead here.
+			g.eng.freeInEntry(ent)
 			return true
 		}
 	}

@@ -13,19 +13,23 @@ import (
 // every wrapper leaves the window exactly once, onto a rail that can
 // physically carry it.
 
-// windowView adapts one gate's window to sched.Window for one rail.
+// windowView adapts one gate's window to sched.Window for one rail. The
+// views live in Gate.views, one per attached rail, and elections pass a
+// pointer into that array: converting a pointer to the interface is
+// allocation-free, where boxing a fresh value per Elect call was a heap
+// allocation on the pump hot path.
 type windowView struct {
 	g   *Gate
 	drv int
 }
 
-func (v windowView) Peer() int { return int(v.g.peer) }
+func (v *windowView) Peer() int { return int(v.g.peer) }
 
-func (v windowView) Pending() int { return v.g.win.pending(v.drv) }
+func (v *windowView) Pending() int { return v.g.win.pending(v.drv) }
 
-func (v windowView) Credits() int { return v.g.Credits() }
+func (v *windowView) Credits() int { return v.g.Credits() }
 
-func (v windowView) Scan(visit func(sched.Wrapper) bool) {
+func (v *windowView) Scan(visit func(sched.Wrapper) bool) {
 	v.g.scanEligible(v.drv, func(pw *packet) bool { return visit(wrapperView(pw)) })
 }
 
@@ -108,9 +112,15 @@ func (e *Engine) railInfo(drv int) sched.RailInfo {
 	}
 }
 
-// railInfos reports every attached rail, in attach order.
+// railInfos reports every attached rail, in attach order. The slice is
+// engine-owned scratch, valid until the next call: strategies receive it
+// for the duration of one PlanBody and must not retain it (the spileak
+// analyzer enforces exactly that contract).
 func (e *Engine) railInfos() []sched.RailInfo {
-	out := make([]sched.RailInfo, len(e.drvs))
+	if cap(e.railScratch) < len(e.drvs) {
+		e.railScratch = make([]sched.RailInfo, len(e.drvs))
+	}
+	out := e.railScratch[:len(e.drvs)]
 	for i := range e.drvs {
 		out[i] = e.railInfo(i)
 	}
@@ -124,7 +134,7 @@ func (e *Engine) railInfos() []sched.RailInfo {
 // dropped and their wrappers stay in the window — no strategy can lose
 // or duplicate application data.
 func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
-	el := e.strat.Elect(windowView{g: g, drv: drv}, e.railInfo(drv))
+	el := e.strat.Elect(&g.views[drv], e.railInfo(drv))
 	if el.Empty() {
 		return nil
 	}
@@ -145,24 +155,23 @@ func (e *Engine) electOutput(g *Gate, drv int, caps drivers.Caps) *output {
 	if e.opts.Reliability && maxSegs > 1 {
 		maxSegs-- // one gather slot is spent on the link framing header
 	}
-	var entries []*packet
-	segs := 0
+	out := e.newOutput()
 	for _, w := range el.Wrappers() {
 		pw, ok := w.Ref.(*packet)
 		if !ok || pw.gate == nil || pw.gate.eng != e || pw.gen != e.electGen {
 			continue // foreign, stale or duplicated pick
 		}
-		if segs+pw.segCount() > maxSegs {
+		if out.segCount()+pw.segCount() > maxSegs {
 			continue // the rail cannot gather this train; leave it behind
 		}
 		pw.gen = 0
-		segs += pw.segCount()
-		entries = append(entries, pw)
+		out.add(pw)
 	}
-	if len(entries) == 0 {
+	if len(out.entries) == 0 {
+		e.freeOutput(out)
 		return nil
 	}
-	return &output{entries: entries}
+	return out
 }
 
 // planBody asks the strategy for a rendezvous body plan and validates
@@ -173,11 +182,18 @@ func (e *Engine) planBody(size int) []sched.BodyShare {
 	rails := e.railInfos()
 	// Failed rails are withdrawn from the offer: a mid-flow body plan
 	// must re-elect the survivors. RailInfo.Index keeps the original
-	// attach-order value, so shares still address the right driver.
-	alive := rails[:0:0]
+	// attach-order value, so shares still address the right driver. With
+	// no failure (the common case) the survey is passed through as-is.
+	alive := rails
 	for _, r := range rails {
-		if !r.Failed {
-			alive = append(alive, r)
+		if r.Failed {
+			alive = rails[:0:0]
+			for _, r := range rails {
+				if !r.Failed {
+					alive = append(alive, r)
+				}
+			}
+			break
 		}
 	}
 	if len(alive) == 0 {

@@ -57,20 +57,68 @@ const (
 	smallTag = core.Tag(16) // smallTag+i, one flow per small send
 )
 
-// RecordComposite runs the composite workload live on a fresh two-node
-// MX cluster with recording enabled and returns the recording. The run
-// is deterministic: the same configuration always yields the same
-// recording, byte for byte.
-func RecordComposite(cfg CompositeConfig) (*trace.Recording, error) {
+// compositeSend drives one node's sender half of the composite workload
+// toward the peer behind g.
+func compositeSend(p *sim.Proc, g *core.Gate, cfg CompositeConfig) {
+	var reqs []core.Request
+	for i := 0; i < cfg.NBulk; i++ {
+		reqs = append(reqs, g.Isend(p, bulkTag, make([]byte, cfg.Bulk)))
+		switch i {
+		case cfg.NBulk / 3:
+			// The burst of small multi-flow sends lands mid-stream.
+			for j := 0; j < cfg.Small; j++ {
+				reqs = append(reqs, g.Isend(p, smallTag+core.Tag(j), make([]byte, 128)))
+			}
+		case cfg.NBulk / 2:
+			// The latency-sensitive control fragment and the large
+			// rendezvous transfer.
+			reqs = append(reqs, g.Isend(p, ctrlTag, make([]byte, 32), core.Priority()))
+			reqs = append(reqs, g.Isend(p, largeTag, make([]byte, cfg.Large)))
+		}
+	}
+	if err := core.WaitAll(p, reqs...); err != nil {
+		panic(fmt.Sprintf("replay: composite sender: %v", err))
+	}
+	if _, err := g.Recv(p, replyTag, make([]byte, 1<<10)); err != nil {
+		panic(fmt.Sprintf("replay: composite sender reply: %v", err))
+	}
+}
+
+// compositeRecv drives one node's receiver half: posts for everything the
+// peer behind g sends, answering the control fragment with the reply.
+func compositeRecv(p *sim.Proc, g *core.Gate, cfg CompositeConfig) {
+	var reqs []core.Request
+	ctrl := g.Irecv(p, ctrlTag, make([]byte, 32))
+	for i := 0; i < cfg.NBulk; i++ {
+		reqs = append(reqs, g.Irecv(p, bulkTag, make([]byte, cfg.Bulk)))
+	}
+	for j := 0; j < cfg.Small; j++ {
+		reqs = append(reqs, g.Irecv(p, smallTag+core.Tag(j), make([]byte, 128)))
+	}
+	reqs = append(reqs, g.Irecv(p, largeTag, make([]byte, cfg.Large)))
+	// The reply goes out as soon as the control fragment lands: the
+	// RPC-response pattern, recorded from the live schedule.
+	if err := ctrl.Wait(p); err != nil {
+		panic(fmt.Sprintf("replay: composite receiver ctrl: %v", err))
+	}
+	reqs = append(reqs, g.Isend(p, replyTag, make([]byte, 1<<10)))
+	if err := core.WaitAll(p, reqs...); err != nil {
+		panic(fmt.Sprintf("replay: composite receiver: %v", err))
+	}
+}
+
+// recordCluster builds an N-node recorded MX cluster under the composite
+// configuration's engine personality.
+func recordCluster(cfg CompositeConfig, nodes int) (*trace.Recording, *sim.World, []*core.Engine, error) {
 	rec := trace.NewRecording()
 	w := sim.NewWorld()
-	f := simnet.NewFabric(w, 2, simnet.DefaultHost())
+	f := simnet.NewFabric(w, nodes, simnet.DefaultHost())
 	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	if cfg.Faults != nil {
 		if err := f.SetFaults(*cfg.Faults); err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 	}
 	opts := core.DefaultOptions()
@@ -81,70 +129,67 @@ func RecordComposite(cfg CompositeConfig) (*trace.Recording, error) {
 	opts.MaxGrants = cfg.MaxGrants
 	opts.Reliability = cfg.Reliability
 	opts.Record = rec
-	mk := func(node simnet.NodeID) (*core.Engine, error) {
-		e, err := core.New(f, node, opts)
+	engines := make([]*core.Engine, nodes)
+	for i := range engines {
+		e, err := core.New(f, simnet.NodeID(i), opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
-		return e, e.AttachFabric(f)
+		if err := e.AttachFabric(f); err != nil {
+			return nil, nil, nil, err
+		}
+		engines[i] = e
 	}
-	e0, err := mk(0)
-	if err != nil {
-		return nil, err
-	}
-	e1, err := mk(1)
-	if err != nil {
-		return nil, err
-	}
+	return rec, w, engines, nil
+}
 
-	w.Spawn("sender", func(p *sim.Proc) {
-		g := e0.Gate(1)
-		var reqs []core.Request
-		for i := 0; i < cfg.NBulk; i++ {
-			reqs = append(reqs, g.Isend(p, bulkTag, make([]byte, cfg.Bulk)))
-			switch i {
-			case cfg.NBulk / 3:
-				// The burst of small multi-flow sends lands mid-stream.
-				for j := 0; j < cfg.Small; j++ {
-					reqs = append(reqs, g.Isend(p, smallTag+core.Tag(j), make([]byte, 128)))
-				}
-			case cfg.NBulk / 2:
-				// The latency-sensitive control fragment and the large
-				// rendezvous transfer.
-				reqs = append(reqs, g.Isend(p, ctrlTag, make([]byte, 32), core.Priority()))
-				reqs = append(reqs, g.Isend(p, largeTag, make([]byte, cfg.Large)))
-			}
-		}
-		if err := core.WaitAll(p, reqs...); err != nil {
-			panic(fmt.Sprintf("replay: composite sender: %v", err))
-		}
-		if _, err := g.Recv(p, replyTag, make([]byte, 1<<10)); err != nil {
-			panic(fmt.Sprintf("replay: composite sender reply: %v", err))
-		}
-	})
-	w.Spawn("receiver", func(p *sim.Proc) {
-		g := e1.Gate(0)
-		var reqs []core.Request
-		ctrl := g.Irecv(p, ctrlTag, make([]byte, 32))
-		for i := 0; i < cfg.NBulk; i++ {
-			reqs = append(reqs, g.Irecv(p, bulkTag, make([]byte, cfg.Bulk)))
-		}
-		for j := 0; j < cfg.Small; j++ {
-			reqs = append(reqs, g.Irecv(p, smallTag+core.Tag(j), make([]byte, 128)))
-		}
-		reqs = append(reqs, g.Irecv(p, largeTag, make([]byte, cfg.Large)))
-		// The reply goes out as soon as the control fragment lands: the
-		// RPC-response pattern, recorded from the live schedule.
-		if err := ctrl.Wait(p); err != nil {
-			panic(fmt.Sprintf("replay: composite receiver ctrl: %v", err))
-		}
-		reqs = append(reqs, g.Isend(p, replyTag, make([]byte, 1<<10)))
-		if err := core.WaitAll(p, reqs...); err != nil {
-			panic(fmt.Sprintf("replay: composite receiver: %v", err))
-		}
-	})
+// RecordComposite runs the composite workload live on a fresh two-node
+// MX cluster with recording enabled and returns the recording. The run
+// is deterministic: the same configuration always yields the same
+// recording, byte for byte.
+func RecordComposite(cfg CompositeConfig) (*trace.Recording, error) {
+	rec, w, engines, err := recordCluster(cfg, 2)
+	if err != nil {
+		return nil, err
+	}
+	w.Spawn("sender", func(p *sim.Proc) { compositeSend(p, engines[0].Gate(1), cfg) })
+	w.Spawn("receiver", func(p *sim.Proc) { compositeRecv(p, engines[1].Gate(0), cfg) })
 	if err := w.Run(); err != nil {
 		return nil, fmt.Errorf("replay: recording composite workload: %w", err)
+	}
+	return rec, nil
+}
+
+// RecordCompositeRing scales the composite workload to an N-node ring:
+// every node runs the canonical sender toward its successor and the
+// canonical receiver toward its predecessor, so all N engines schedule
+// concurrently and the offered load grows linearly with the ring. This is
+// the workload behind the engine-speed meta-figure (internal/bench),
+// which replays the recording at 8/256/1024 nodes and measures what the
+// engine itself costs in wall-clock time and allocations. With nodes = 2
+// the ring degenerates to the two-node composite with both directions
+// active.
+func RecordCompositeRing(cfg CompositeConfig, nodes int) (*trace.Recording, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("replay: composite ring needs at least 2 nodes, got %d", nodes)
+	}
+	rec, w, engines, err := recordCluster(cfg, nodes)
+	if err != nil {
+		return nil, err
+	}
+	for i := range engines {
+		i := i
+		next := (i + 1) % nodes
+		prev := (i + nodes - 1) % nodes
+		w.Spawn(fmt.Sprintf("ring-send%d", i), func(p *sim.Proc) {
+			compositeSend(p, engines[i].Gate(simnet.NodeID(next)), cfg)
+		})
+		w.Spawn(fmt.Sprintf("ring-recv%d", i), func(p *sim.Proc) {
+			compositeRecv(p, engines[i].Gate(simnet.NodeID(prev)), cfg)
+		})
+	}
+	if err := w.Run(); err != nil {
+		return nil, fmt.Errorf("replay: recording %d-node composite ring: %w", nodes, err)
 	}
 	return rec, nil
 }

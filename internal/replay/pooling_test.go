@@ -1,0 +1,84 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Free-list recycling (core's packet/output/inEntry pools and the
+// encode scratch) is a pure memory optimization: it must never change
+// what the engine does, only what it allocates. These tests replay the
+// same recording with pooling on and off (Config.NoRecycle) and demand
+// the two runs be indistinguishable — byte-identical timelines,
+// deep-equal Stats, the same completion instant. Any divergence means a
+// recycled object was reused while something still referenced it, which
+// is exactly the bug class pooling can introduce.
+
+// diffTimelines reports the first line where two timelines diverge, so
+// a pooling bug points at the event rather than "not equal".
+func diffTimelines(t *testing.T, pooled, fresh []string) {
+	t.Helper()
+	if len(pooled) != len(fresh) {
+		t.Errorf("timeline length differs: %d events pooled, %d without recycling", len(pooled), len(fresh))
+	}
+	n := len(pooled)
+	if len(fresh) < n {
+		n = len(fresh)
+	}
+	for i := 0; i < n; i++ {
+		if pooled[i] != fresh[i] {
+			t.Fatalf("timelines diverge at event %d:\n  pooled: %s\n  fresh:  %s", i, pooled[i], fresh[i])
+		}
+	}
+}
+
+// The canonical golden recording, replayed under every registered
+// strategy: pooling must be invisible across the whole strategy
+// surface (aggregation, splitting, priorities, the adaptive feedback
+// loop and its rendezvous plans).
+func TestPoolingInvisibleAcrossStrategies(t *testing.T) {
+	rec := loadGolden(t)
+	for _, strat := range []string{"default", "aggreg", "split", "prio", "adaptive"} {
+		t.Run(strat, func(t *testing.T) {
+			pooled, err := Run(rec, Config{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Run(rec, Config{Strategy: strat, NoRecycle: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			diffTimelines(t, pooled.TimelineLines(), fresh.TimelineLines())
+			if !reflect.DeepEqual(pooled.Stats, fresh.Stats) {
+				t.Errorf("Stats differ with recycling disabled:\npooled: %+v\nfresh:  %+v", pooled.Stats, fresh.Stats)
+			}
+			if pooled.Completion != fresh.Completion {
+				t.Errorf("completion differs: %v pooled, %v without recycling", pooled.Completion, fresh.Completion)
+			}
+		})
+	}
+}
+
+// A lossy replay exercises the paths pooling touches hardest: link
+// frames flatten recycled trains for retransmission, and resequencing
+// holds pooled receive entries across drops. The seeded injector drops
+// the same packets either way, so the runs must still match event for
+// event.
+func TestPoolingInvisibleUnderLoss(t *testing.T) {
+	rec := lossyComposite(t)
+	pooled, err := Run(rec, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(rec, Config{NoRecycle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffTimelines(t, pooled.TimelineLines(), fresh.TimelineLines())
+	if !reflect.DeepEqual(pooled.Stats, fresh.Stats) {
+		t.Errorf("Stats differ with recycling disabled:\npooled: %+v\nfresh:  %+v", pooled.Stats, fresh.Stats)
+	}
+	if sumRetransmits(pooled) == 0 {
+		t.Error("lossy replay saw no retransmissions — the test is not exercising the frame-retention path")
+	}
+}

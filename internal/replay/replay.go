@@ -41,6 +41,12 @@ type Config struct {
 	// sends recorded on rails beyond the new set fall back to the common
 	// list.
 	Rails []simnet.Profile
+	// NoRecycle replays with the engine's free-list recycling disabled
+	// (core.Options.NoRecycle): every wrapper, train and receive entry is
+	// a fresh allocation. Recycling is a pure memory optimization — the
+	// timeline and Stats must be byte-identical either way, which is
+	// exactly what the pooling property test asserts with this switch.
+	NoRecycle bool
 	// DisableFaults replays a lossy recording on a lossless fabric: the
 	// recorded fault profile in the header is ignored (the engines keep
 	// their recorded reliability settings — an idle link layer does not
@@ -306,16 +312,24 @@ func nodeOptions(hdr trace.RecordingHeader, node int, cfg Config) core.Options {
 	if cfg.MaxGrants != nil {
 		opts.MaxGrants = *cfg.MaxGrants
 	}
+	opts.NoRecycle = cfg.NoRecycle
 	return opts
 }
 
 // makeSegs allocates a zeroed iovec with the recorded segment layout.
 // Payload content is not part of the recording: scheduling decisions
-// depend on sizes and layout only.
+// depend on sizes and layout only. One backing buffer serves every
+// segment — two allocations per op instead of one per segment.
 func makeSegs(lens []int) [][]byte {
+	total := 0
+	for _, n := range lens {
+		total += n
+	}
+	buf := make([]byte, total)
 	segs := make([][]byte, len(lens))
 	for i, n := range lens {
-		segs[i] = make([]byte, n)
+		segs[i] = buf[:n:n]
+		buf = buf[n:]
 	}
 	return segs
 }

@@ -22,7 +22,8 @@ func NewCond(w *World) *Cond { return &Cond{w: w} }
 // Wait blocks p until a Signal or Broadcast wakes it.
 func (c *Cond) Wait(p *Proc) {
 	c.waiters = append(c.waiters, p)
-	c.w.waiting[p] = true
+	p.waitIdx = len(c.w.waiting)
+	c.w.waiting = append(c.w.waiting, p)
 	p.block()
 }
 
@@ -32,22 +33,29 @@ func (c *Cond) Signal() {
 		return
 	}
 	p := c.waiters[0]
-	c.waiters = c.waiters[1:]
+	n := copy(c.waiters, c.waiters[1:])
+	c.waiters[n] = nil
+	c.waiters = c.waiters[:n]
 	c.wake(p)
 }
 
-// Broadcast wakes every waiting process.
+// Broadcast wakes every waiting process. The waiter list's backing array
+// is kept for the next Wait: wake only schedules events (nothing re-
+// enters Wait synchronously), so clearing in place is safe — and the
+// wait/broadcast churn of request completion stops allocating once the
+// list has seen its high-water mark.
 func (c *Cond) Broadcast() {
 	ws := c.waiters
-	c.waiters = nil
-	for _, p := range ws {
+	for i, p := range ws {
 		c.wake(p)
+		ws[i] = nil
 	}
+	c.waiters = ws[:0]
 }
 
 func (c *Cond) wake(p *Proc) {
-	delete(c.w.waiting, p)
-	c.w.At(c.w.now, func() { c.w.runProc(p) })
+	c.w.unwait(p)
+	c.w.At(c.w.now, p.runFn)
 }
 
 // Waiters reports how many processes are currently blocked on c.

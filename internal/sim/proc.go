@@ -11,12 +11,22 @@ type Proc struct {
 	w      *World
 	name   string
 	resume chan struct{}
+	// runFn is the one resume closure the process ever needs: every
+	// wake-up — Sleep timers, Cond wakes, the first step — schedules this
+	// same function instead of allocating a fresh closure per blocking
+	// call. Sleeps and waits are the hottest operations of a large replay,
+	// so the saving is per-op, not per-process.
+	runFn func()
+	// waitIdx is the process's slot in World.waiting while blocked on a
+	// Cond, -1 otherwise (see Cond.Wait / World.unwait).
+	waitIdx int
 }
 
 // Spawn creates a process executing fn and schedules its first step at the
 // current virtual time. fn receives the process itself for blocking calls.
 func (w *World) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{w: w, name: name, resume: make(chan struct{})}
+	p := &Proc{w: w, name: name, resume: make(chan struct{}), waitIdx: -1}
+	p.runFn = func() { w.runProc(p) }
 	w.live++
 	go func() {
 		<-p.resume // wait for the scheduler to give us our first step
@@ -24,7 +34,7 @@ func (w *World) Spawn(name string, fn func(p *Proc)) *Proc {
 		p.w.live--
 		p.w.yield <- struct{}{} // hand control back one last time
 	}()
-	w.At(w.now, func() { w.runProc(p) })
+	w.At(w.now, p.runFn)
 	return p
 }
 
@@ -44,7 +54,7 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.w.After(d, func() { p.w.runProc(p) })
+	p.w.After(d, p.runFn)
 	p.block()
 }
 

@@ -18,8 +18,8 @@ type World struct {
 	cur   *Proc         // process currently executing, nil in scheduler context
 	yield chan struct{} // a process signals here when it blocks or finishes
 
-	live    int            // spawned processes that have not finished
-	waiting map[*Proc]bool // processes blocked on a Cond (for deadlock reports)
+	live    int     // spawned processes that have not finished
+	waiting []*Proc // processes blocked on a Cond (for deadlock reports)
 
 	stopped bool
 	limit   Time // RunUntil horizon; 0 = none
@@ -27,10 +27,25 @@ type World struct {
 
 // NewWorld returns an empty world with the clock at zero.
 func NewWorld() *World {
-	return &World{
-		yield:   make(chan struct{}),
-		waiting: make(map[*Proc]bool),
+	return &World{yield: make(chan struct{})}
+}
+
+// unwait removes p from the blocked-process registry (swap-remove: the
+// registry is a set kept as a slice so wait/wake cycles on the request
+// hot path stay allocation-free; order is irrelevant — deadlock reports
+// sort by name).
+func (w *World) unwait(p *Proc) {
+	i := p.waitIdx
+	if i < 0 {
+		return
 	}
+	last := len(w.waiting) - 1
+	moved := w.waiting[last]
+	w.waiting[i] = moved
+	moved.waitIdx = i
+	w.waiting[last] = nil
+	w.waiting = w.waiting[:last]
+	p.waitIdx = -1
 }
 
 // Now reports the current virtual time.
@@ -96,7 +111,7 @@ func (w *World) RunUntil(t Time) error {
 
 func (w *World) deadlock() error {
 	names := make([]string, 0, len(w.waiting))
-	for p := range w.waiting {
+	for _, p := range w.waiting {
 		names = append(names, p.name)
 	}
 	sort.Strings(names)

@@ -47,6 +47,13 @@ type Tx struct {
 	// OnSent, if non-nil, fires when the NIC finishes with the transaction
 	// on the sending side.
 	OnSent func()
+
+	// Snapshot state filled by Submit: the flattened bytes and the
+	// gather-list shape, captured before Submit returns so the caller may
+	// reuse both the segment buffers and the Segs slice itself while the
+	// transaction waits in the queue.
+	data  []byte
+	nsegs int
 }
 
 // Delivery is an arrived transaction, handed to the receiving NIC's
@@ -143,6 +150,14 @@ func (n *NIC) Submit(tx *Tx) error {
 	if p.MTU > 0 && size > p.MTU {
 		return fmt.Errorf("%w: %d bytes > MTU %d on %s", ErrOversized, size, p.MTU, p.Name)
 	}
+	// Snapshot now, not at transmission start: a queued transaction must
+	// not read the caller's buffers later (the documented Segs contract).
+	tx.nsegs = len(tx.Segs)
+	tx.data = make([]byte, 0, size)
+	for _, s := range tx.Segs {
+		tx.data = append(tx.data, s...)
+	}
+	tx.Segs = nil
 	n.queue = append(n.queue, tx)
 	if len(n.queue) > n.stats.MaxQueue {
 		n.stats.MaxQueue = len(n.queue)
@@ -160,17 +175,11 @@ func (n *NIC) startNext() {
 	n.busy = true
 
 	p := n.net.prof
-	size := 0
-	for _, s := range tx.Segs {
-		size += len(s)
-	}
-	data := make([]byte, 0, size)
-	for _, s := range tx.Segs {
-		data = append(data, s...)
-	}
+	size := len(tx.data)
+	data := tx.data
 
 	now := n.world.Now()
-	setup := p.SendOverhead + p.Gap + sim.Time(len(tx.Segs))*p.PerSegment
+	setup := p.SendOverhead + p.Gap + sim.Time(tx.nsegs)*p.PerSegment
 	var arrival, nicFree sim.Time
 	switch tx.Kind {
 	case TxEager:
@@ -191,7 +200,7 @@ func (n *NIC) startNext() {
 
 	n.stats.TxPackets++
 	n.stats.TxBytes += int64(size)
-	n.stats.TxSegs += len(tx.Segs)
+	n.stats.TxSegs += tx.nsegs
 
 	// Sender-side completion: free the NIC, then refill.
 	n.world.At(nicFree, func() {

@@ -85,11 +85,19 @@ type Event struct {
 	Note string
 }
 
+// recorderBlock is the unbounded recorder's block capacity: full blocks
+// are never copied again, so recording amortizes to one allocation per
+// recorderBlock events instead of the doubling-growth copies of a single
+// slice (a long replay records millions of events; the copies were a
+// measurable slice of engine time).
+const recorderBlock = 4096
+
 // Recorder accumulates events, optionally as a bounded ring.
 type Recorder struct {
-	events []Event
-	limit  int // 0 = unbounded
-	start  int // ring head when limit > 0
+	blocks [][]Event // unbounded mode: fixed-capacity blocks
+	events []Event   // ring mode (limit > 0)
+	limit  int       // 0 = unbounded
+	start  int       // ring head when limit > 0
 	total  int
 	counts [nKinds]int
 }
@@ -115,12 +123,21 @@ func (r *Recorder) Record(ev Event) {
 	if int(ev.Kind) < len(r.counts) {
 		r.counts[ev.Kind]++
 	}
-	if r.limit > 0 && len(r.events) == r.limit {
-		r.events[r.start] = ev
-		r.start = (r.start + 1) % r.limit
+	if r.limit > 0 {
+		if len(r.events) == r.limit {
+			r.events[r.start] = ev
+			r.start = (r.start + 1) % r.limit
+			return
+		}
+		r.events = append(r.events, ev)
 		return
 	}
-	r.events = append(r.events, ev)
+	n := len(r.blocks)
+	if n == 0 || len(r.blocks[n-1]) == recorderBlock {
+		r.blocks = append(r.blocks, make([]Event, 0, recorderBlock))
+		n++
+	}
+	r.blocks[n-1] = append(r.blocks[n-1], ev)
 }
 
 // Events returns the retained events in chronological order.
@@ -128,7 +145,14 @@ func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	if r.limit == 0 || r.start == 0 {
+	if r.limit == 0 {
+		out := make([]Event, 0, r.total)
+		for _, b := range r.blocks {
+			out = append(out, b...)
+		}
+		return out
+	}
+	if r.start == 0 {
 		return append([]Event(nil), r.events...)
 	}
 	out := make([]Event, 0, len(r.events))

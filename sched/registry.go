@@ -9,7 +9,10 @@ import (
 // The strategy registry — the paper's "extensible and programmable set
 // of strategies", selectable by name at engine construction. The RWMutex
 // makes registration and lookup safe for concurrent engine construction
-// (many clusters assembled from parallel tests or goroutines).
+// (many clusters assembled from parallel tests or goroutines). That is
+// the lock's entire scope: Register/New/Names run at construction time
+// only, so no engine hot path — election, completion, receive dispatch —
+// ever touches it.
 var (
 	registryMu sync.RWMutex
 	registry   = map[string]func() Strategy{}

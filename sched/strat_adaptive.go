@@ -1,8 +1,6 @@
 package sched
 
 import (
-	"sync"
-
 	"nmad/internal/sim"
 )
 
@@ -26,8 +24,13 @@ import (
 // The OnAttach/OnComplete hooks feed a per-rail transaction log the
 // strategy (and its tests) can inspect; the bandwidth estimate itself
 // comes pre-smoothed from the engine's EWMA sampler via RailInfo.
+//
+// No mutex: registered strategies are instantiated per engine and every
+// hook runs inside the engine's single-threaded sim.World (OnComplete
+// fires once per transaction — it is hot-path). Sharing one instance
+// across engines requires Options.StrategyImpl, whose documentation
+// already places synchronization on the caller.
 type adaptiveStrategy struct {
-	mu    sync.Mutex
 	rails map[int]*railLog
 }
 
@@ -112,16 +115,12 @@ func (s *adaptiveStrategy) PlanBody(rails []RailInfo, size int) []BodyShare {
 
 // OnAttach seeds the feedback log for a rail.
 func (s *adaptiveStrategy) OnAttach(rail RailInfo) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.log(rail.Index).Name = rail.Name
 	s.log(rail.Index).Attached = true
 }
 
 // OnComplete records one finished transaction.
 func (s *adaptiveStrategy) OnComplete(c Completion) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	l := s.log(c.Rail)
 	if c.Entries == 0 {
 		l.Bodies++
@@ -144,8 +143,6 @@ func (s *adaptiveStrategy) log(rail int) *railLog {
 
 // Snapshot copies the per-rail feedback log (diagnostics and tests).
 func (s *adaptiveStrategy) Snapshot() map[int]railLog {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := make(map[int]railLog, len(s.rails))
 	for i, l := range s.rails {
 		out[i] = *l

@@ -137,8 +137,12 @@ func cmdList(args []string) int {
 	}
 	scs, bad := nmad.ListScenarioDir(args[0])
 	for _, sc := range scs {
-		fmt.Printf("%-24s %d nodes, %d phases, %d events, %d assertions  %s\n",
-			sc.Name, sc.Cluster.Nodes, len(sc.Phases), len(sc.Events), len(sc.Assertions), sc.Description)
+		tenants := ""
+		if len(sc.Tenants) > 0 {
+			tenants = fmt.Sprintf(", %d tenants", len(sc.Tenants))
+		}
+		fmt.Printf("%-24s %d nodes, %d phases, %d events, %d assertions%s  %s\n",
+			sc.Name, sc.Cluster.Nodes, len(sc.Phases), len(sc.Events), len(sc.Assertions), tenants, sc.Description)
 	}
 	status := 0
 	names := make([]string, 0, len(bad))

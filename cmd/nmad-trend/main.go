@@ -7,7 +7,10 @@
 // ops/sec must fail the check when it drops, not when it rises.
 // Figures without data points (text-only tables like 5.1) and series or
 // points present in only one file are skipped, so adding figures never
-// breaks the check.
+// breaks the check — but every skip is named in the output (which file
+// has the figure or series the other lacks), so a typo'd -fig list or a
+// renamed series shows up as a visible "skipped" line instead of a
+// silently thinner comparison.
 //
 // Thresholds are per figure: -threshold sets the global default, and
 // figures whose completion times are dominated by retransmission timing
@@ -119,11 +122,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	regressions, figLines, compared := compare(oldFigs, newFigs, *threshold, rules)
+	regressions, figLines, skipped, compared := compare(oldFigs, newFigs, *threshold, rules)
 	fmt.Printf("nmad-trend: %s -> %s: %d points compared, %d regressions (default threshold %.0f%%)\n",
 		oldPath, newPath, compared, len(regressions), (*threshold-1)*100)
 	for _, l := range figLines {
 		fmt.Println("  " + l)
+	}
+	if len(skipped) > 0 {
+		fmt.Printf("  %d skipped (old = %s, new = %s):\n", len(skipped), oldPath, newPath)
+		for _, l := range skipped {
+			fmt.Println("    skipped " + l)
+		}
 	}
 	for _, r := range regressions {
 		fmt.Println("  REGRESSION " + r)
@@ -157,15 +166,29 @@ func loadFigures(path string) ([]nmad.BenchFigure, error) {
 // Each compared figure gets one summary line naming the threshold and
 // direction applied to it, so the log always shows which band a figure
 // was held to — the built-in loose bands on the lossy figures and the
-// inverted band on engine-speed in particular.
-func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, rules map[string]figRule) (regressions, figLines []string, compared int) {
+// inverted band on engine-speed in particular. Whatever could NOT be
+// compared — a figure or series present in only one file, or a figure
+// present in both but with no overlapping points — comes back in
+// skipped, one line each, so a thinner-than-expected comparison is
+// visible instead of silent.
+func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, rules map[string]figRule) (regressions, figLines, skipped []string, compared int) {
 	oldByID := map[string]nmad.BenchFigure{}
 	for _, f := range oldFigs {
 		oldByID[f.ID] = f
 	}
+	newByID := map[string]nmad.BenchFigure{}
+	for _, f := range newFigs {
+		newByID[f.ID] = f
+	}
+	for _, of := range oldFigs {
+		if _, ok := newByID[of.ID]; !ok {
+			skipped = append(skipped, fmt.Sprintf("figure %s: only in old file", of.ID))
+		}
+	}
 	for _, nf := range newFigs {
 		of, ok := oldByID[nf.ID]
 		if !ok {
+			skipped = append(skipped, fmt.Sprintf("figure %s: only in new file", nf.ID))
 			continue
 		}
 		rule, hasRule := rules[nf.ID]
@@ -189,10 +212,20 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, rule
 			}
 			oldSeries[s.Label] = pts
 		}
+		newLabels := map[string]bool{}
+		for _, s := range nf.Series {
+			newLabels[s.Label] = true
+		}
+		for _, s := range of.Series {
+			if !newLabels[s.Label] {
+				skipped = append(skipped, fmt.Sprintf("figure %s, series %q: only in old file", nf.ID, s.Label))
+			}
+		}
 		figCompared := 0
 		for _, s := range nf.Series {
 			pts, ok := oldSeries[s.Label]
 			if !ok {
+				skipped = append(skipped, fmt.Sprintf("figure %s, series %q: only in new file", nf.ID, s.Label))
 				continue
 			}
 			for _, pt := range s.Points {
@@ -224,10 +257,26 @@ func compare(oldFigs, newFigs []nmad.BenchFigure, defaultThreshold float64, rule
 			figLines = append(figLines, fmt.Sprintf(
 				"figure %-16s %3d points, threshold %.0f%% (%s, %s)",
 				nf.ID, figCompared, (threshold-1)*100, source, direction))
+		} else if hasPoints(of) || hasPoints(nf) {
+			// Text-only figures (no points on either side) are expected to
+			// compare empty; anything else landing here is a mismatch worth
+			// naming.
+			skipped = append(skipped, fmt.Sprintf("figure %s: in both files but no overlapping points", nf.ID))
 		}
 		compared += figCompared
 	}
-	return regressions, figLines, compared
+	return regressions, figLines, skipped, compared
+}
+
+// hasPoints reports whether a figure carries any data points at all —
+// false for the text-only table figures.
+func hasPoints(f nmad.BenchFigure) bool {
+	for _, s := range f.Series {
+		if len(s.Points) > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // autoDiscover picks the two highest-numbered BENCH_PR<N>.json files in

@@ -22,11 +22,11 @@ func TestCompareLowerIsBetterDefault(t *testing.T) {
 	grew := []nmad.BenchFigure{fig("incast", map[int]float64{8: 150})}
 	shrank := []nmad.BenchFigure{fig("incast", map[int]float64{8: 50})}
 
-	regs, _, compared := compare(old, grew, 1.2, figureRules)
+	regs, _, _, compared := compare(old, grew, 1.2, figureRules)
 	if compared != 1 || len(regs) != 1 {
 		t.Fatalf("growth past threshold: compared=%d regressions=%v", compared, regs)
 	}
-	if regs, _, _ := compare(old, shrank, 1.2, figureRules); len(regs) != 0 {
+	if regs, _, _, _ := compare(old, shrank, 1.2, figureRules); len(regs) != 0 {
 		t.Fatalf("improvement flagged as regression: %v", regs)
 	}
 }
@@ -39,10 +39,10 @@ func TestCompareHigherIsBetterInvertsDirection(t *testing.T) {
 	fell := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 15000})}
 	zero := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 0})}
 
-	if regs, _, _ := compare(old, rose, 1.2, figureRules); len(regs) != 0 {
+	if regs, _, _, _ := compare(old, rose, 1.2, figureRules); len(regs) != 0 {
 		t.Fatalf("ops/sec rise flagged as regression: %v", regs)
 	}
-	regs, figLines, _ := compare(old, fell, 1.2, figureRules)
+	regs, figLines, _, _ := compare(old, fell, 1.2, figureRules)
 	if len(regs) != 1 {
 		t.Fatalf("ops/sec collapse not flagged: %v", regs)
 	}
@@ -52,7 +52,7 @@ func TestCompareHigherIsBetterInvertsDirection(t *testing.T) {
 	if len(figLines) != 1 || !strings.Contains(figLines[0], "higher is better") {
 		t.Errorf("summary line does not name the direction: %v", figLines)
 	}
-	if regs, _, _ := compare(old, zero, 1.2, figureRules); len(regs) != 1 {
+	if regs, _, _, _ := compare(old, zero, 1.2, figureRules); len(regs) != 1 {
 		t.Fatalf("collapse to zero not flagged: %v", regs)
 	}
 }
@@ -62,7 +62,7 @@ func TestCompareWithinBandPasses(t *testing.T) {
 	// regression.
 	old := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 40000})}
 	dip := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 25000})}
-	if regs, _, _ := compare(old, dip, 1.2, figureRules); len(regs) != 0 {
+	if regs, _, _, _ := compare(old, dip, 1.2, figureRules); len(regs) != 0 {
 		t.Fatalf("within-band dip flagged: %v", regs)
 	}
 }
@@ -75,7 +75,55 @@ func TestCompareOverrideKeepsDirection(t *testing.T) {
 	}
 	old := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 40000})}
 	dip := []nmad.BenchFigure{fig("engine-speed", map[int]float64{1024: 35000})}
-	if regs, _, _ := compare(old, dip, 1.2, rules); len(regs) != 1 {
+	if regs, _, _, _ := compare(old, dip, 1.2, rules); len(regs) != 1 {
 		t.Fatalf("tightened band did not flag the dip: %v", regs)
+	}
+}
+
+func TestCompareReportsSkipped(t *testing.T) {
+	// One figure per mismatch class: present only in old, only in new,
+	// series renamed between the files, and in both but with no
+	// overlapping points. Each must come back as one named skip line; a
+	// text-only figure (no points on either side) must not.
+	oldOnly := fig("dropped-fig", map[int]float64{8: 100})
+	newOnly := fig("added-fig", map[int]float64{8: 100})
+	oldRenamed := fig("renamed-series", map[int]float64{8: 100})
+	newRenamed := fig("renamed-series", map[int]float64{8: 100})
+	newRenamed.Series[0].Label = "replay[prio]"
+	textOnly := nmad.BenchFigure{ID: "table-51"}
+	shared := fig("incast", map[int]float64{8: 100})
+
+	old := []nmad.BenchFigure{oldOnly, oldRenamed, textOnly, shared}
+	cur := []nmad.BenchFigure{newOnly, newRenamed, textOnly, shared}
+	regs, _, skipped, compared := compare(old, cur, 1.2, figureRules)
+	if len(regs) != 0 || compared != 1 {
+		t.Fatalf("regressions=%v compared=%d, want none and 1", regs, compared)
+	}
+	want := []string{
+		`figure dropped-fig: only in old file`,
+		`figure added-fig: only in new file`,
+		`figure renamed-series, series "replay[aggreg]": only in old file`,
+		`figure renamed-series, series "replay[prio]": only in new file`,
+		`figure renamed-series: in both files but no overlapping points`,
+	}
+	for _, w := range want {
+		found := false
+		for _, s := range skipped {
+			if s == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing skip line %q in %v", w, skipped)
+		}
+	}
+	if len(skipped) != len(want) {
+		t.Errorf("got %d skip lines %v, want exactly %d", len(skipped), skipped, len(want))
+	}
+	for _, s := range skipped {
+		if strings.Contains(s, "table-51") {
+			t.Errorf("text-only figure reported as a skip: %s", s)
+		}
 	}
 }

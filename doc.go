@@ -112,6 +112,33 @@
 // The incast bench workload (nmad-bench -fig incast) exercises exactly
 // this scenario.
 //
+// # Multi-tenant job queue
+//
+// NewQueue puts a bounded admission queue and fair-share dispatcher in
+// front of one engine, so several tenants' workloads share a node
+// without hand-written interleaving. Tenants are declared with a name,
+// a weight and a class (ClassBulk, ClassNormal, ClassLatency); Submit
+// enqueues a named job — a function run as its own simulated process
+// once dispatched — and returns a Job handle with virtual-time
+// Wait/Done/Err plus Submitted/Dispatched/Completed stamps. Dispatch
+// order is deterministic stride scheduling (a weight-4 tenant gets
+// four slots per weight-1 slot), classes set the base dispatch level
+// with latency-class tenants preempting queued bulk, and queued jobs
+// age one class per WithQueueAging interval so nothing starves.
+// Admission past WithQueueCapacity fails fast with ErrQueueFull.
+// Counters flow through Stats (JobsAdmitted through PeakJobWait) and
+// Tenant.Stats():
+//
+//	q, _ := nmad.NewQueue(e0, nmad.WithQueueWorkers(2),
+//		nmad.WithTenant("mover", 1, nmad.ClassBulk),
+//		nmad.WithTenant("rpc", 4, nmad.ClassLatency))
+//	job, _ := q.Submit("rpc", "lookup", func(p *nmad.Proc) error { ... })
+//
+// Scenario files declare the same thing with a tenants list and a
+// queue block, and the tenant-isolation bench figure measures the
+// headline property: a latency tenant's pingpong stays within 2x its
+// unloaded time while a bulk tenant's incast burst runs to completion.
+//
 // # Fault injection and reliability
 //
 // The fabric can lie. WithFaults installs a seeded FaultProfile on the
@@ -180,7 +207,9 @@
 // fault profile), a timeline of workload phases (pingpong, ring,
 // incast, composite bulk+control, and the collectives) interleaved with
 // mid-run events (rail degradation and restoration, outages, fault-rate
-// changes, node slowdown, credit squeezes, named checkpoints), and
+// changes, node slowdown, credit squeezes, named checkpoints),
+// optionally a tenants list with a queue block routing tenant-tagged
+// phases through the fair-share job queue, and
 // assertions over the outcome — any Stats counter, per-rail fault
 // counters, completion-time bounds, payload integrity, phase ordering.
 // cmd/nmad-sim runs, validates and lists scenario files; the committed
@@ -204,7 +233,8 @@
 // (no wall-clock reads, no global math/rand, no order-dependent
 // map iteration in the deterministic packages — internal/core,
 // internal/sim, internal/simnet, internal/madmpi, internal/scenario,
-// internal/replay, internal/trace and sched), statssync (the scenario
+// internal/queue, internal/replay, internal/trace and sched),
+// statssync (the scenario
 // assertion tables cover exactly the exported numeric counters of
 // core.Stats and simnet.FaultStats under their snake_case names),
 // sentinelcmp (the module's sentinel errors are matched with errors.Is
@@ -243,6 +273,9 @@
 //     budget or rail set; golden-timeline determinism tests.
 //   - internal/scenario: the declarative scenario harness — YAML-subset
 //     parser, validation, phase workloads, mid-run events, assertions.
+//   - internal/queue: the multi-tenant job queue — bounded admission,
+//     weighted fair-share (stride) dispatch, class-based priority with
+//     aging, per-tenant counters.
 //   - internal/baseline: MPICH-like and OpenMPI-like comparators.
 //   - internal/bench: the harness regenerating every evaluation figure.
 //   - internal/analysis, cmd/nmad-vet: the static-analysis suite

@@ -11,7 +11,8 @@ import (
 
 // DeterministicPkgPaths lists the packages whose behavior must be a
 // pure function of their inputs: the engine, the virtual-time machine,
-// the fabric, MPI, scenarios, replay, the recording format and the SPI.
+// the fabric, MPI, scenarios, the job queue, replay, the recording
+// format and the SPI.
 // Byte-identical replay (PR 5), seeded fault injection (PR 6) and the
 // scenario corpus (PR 7) all stand on this property. A package outside
 // the list can opt in by carrying a //nmadvet:deterministic comment in
@@ -22,6 +23,7 @@ var DeterministicPkgPaths = []string{
 	"nmad/internal/simnet",
 	"nmad/internal/madmpi",
 	"nmad/internal/scenario",
+	"nmad/internal/queue",
 	"nmad/internal/replay",
 	"nmad/internal/trace",
 	"nmad/sched",

@@ -199,7 +199,8 @@ func TestRunRegistry(t *testing.T) {
 	want := []string{"2a", "2b", "2c", "2d", "3a", "3b", "3c", "3d", "4a", "4b", "5.1",
 		"ablation-composite", "ablation-modes", "ablation-multirail", "ablation-overhead",
 		"ablation-rdv", "ablation-sampling", "ablation-strategies", "allreduce",
-		"drop-resilience", "engine-allocs", "engine-speed", "incast", "replay-ab", "scale-nodes"}
+		"drop-resilience", "engine-allocs", "engine-speed", "incast", "replay-ab", "scale-nodes",
+		"tenant-isolation"}
 	infos := Figures()
 	if len(infos) != len(want) {
 		t.Fatalf("Figures() lists %d entries, want %d", len(infos), len(want))

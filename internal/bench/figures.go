@@ -529,6 +529,7 @@ var figureList = []struct {
 	{"drop-resilience", "8-node allgather completion vs packet-drop probability per strategy", FigDropResilience},
 	{"engine-speed", "meta: wall-clock engine ops/sec replaying the composite ring at 8/256/1024 nodes", FigEngineSpeed},
 	{"engine-allocs", "meta: heap allocations per op replaying the composite ring at 8/256/1024 nodes", FigEngineAllocs},
+	{"tenant-isolation", "multi-tenant job queue: victim pingpong latency under a competing tenant's incast burst", FigTenantIsolation},
 }
 
 // FigureIDs lists the registry keys in stable (sorted) order.

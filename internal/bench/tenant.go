@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+
+	"nmad/internal/core"
+	"nmad/internal/queue"
+	"nmad/internal/sim"
+	"nmad/internal/simnet"
+)
+
+// The tenant-isolation workload: two tenants share node 0's engine
+// through the multi-tenant job queue. The burst tenant (class bulk)
+// floods eager traffic at nodes 2 and 3 while the victim tenant (class
+// latency) runs a small pingpong against node 1. The isolation claim is
+// that the victim's completion time under the competing burst stays
+// close to its unloaded time — the queue classes pick the dispatch
+// order, and the prio strategy plus the Priority() send flag keep the
+// victim's wrappers from riding behind bulk trains on the wire.
+
+// TenantIsolationConfig parameterizes one run.
+type TenantIsolationConfig struct {
+	// BurstMsgs eager messages of BurstSize bytes go from node 0 to each
+	// of nodes 2 and 3. BurstMsgs = 0 disables the burst tenant — the
+	// victim's unloaded baseline.
+	BurstMsgs int
+	BurstSize int
+	// Iters pingpong round trips of RPCSize bytes between nodes 0 and 1.
+	Iters   int
+	RPCSize int
+}
+
+// TenantIsolationResult is what one run measured.
+type TenantIsolationResult struct {
+	// VictimUs / BurstUs are each tenant's submit-to-completion virtual
+	// time. BurstUs is 0 when the burst is disabled.
+	VictimUs float64
+	BurstUs  float64
+	// Stats is node 0's end-of-run engine snapshot (queue counters
+	// included).
+	Stats core.Stats
+}
+
+// TenantIsolation runs both tenants through a queue on node 0's engine
+// (prio strategy, one MX rail, 4 nodes) and verifies every payload.
+func TenantIsolation(cfg TenantIsolationConfig) (TenantIsolationResult, error) {
+	if cfg.Iters < 1 || cfg.RPCSize < 1 {
+		return TenantIsolationResult{}, fmt.Errorf("bench: tenant isolation needs a victim workload, got %+v", cfg)
+	}
+	const nodes = 4
+	w := sim.NewWorld()
+	f := simnet.NewFabric(w, nodes, simnet.DefaultHost())
+	if _, err := f.AddNetwork(simnet.MX10G()); err != nil {
+		return TenantIsolationResult{}, err
+	}
+	opts := core.DefaultOptions()
+	opts.Strategy = "prio"
+	engines := make([]*core.Engine, nodes)
+	for n := range engines {
+		e, err := core.New(f, simnet.NodeID(n), opts)
+		if err != nil {
+			return TenantIsolationResult{}, err
+		}
+		if err := e.AttachFabric(f); err != nil {
+			return TenantIsolationResult{}, err
+		}
+		engines[n] = e
+	}
+
+	q, err := queue.New(engines[0], queue.Config{
+		Workers: 2, // both tenants run; contention is on the shared engine
+		Tenants: []queue.TenantSpec{
+			{Name: "burst", Weight: 1, Class: queue.ClassBulk},
+			{Name: "victim", Weight: 4, Class: queue.ClassLatency},
+		},
+	})
+	if err != nil {
+		return TenantIsolationResult{}, err
+	}
+
+	var res TenantIsolationResult
+	var runErrs []error
+	fail := func(err error) error { runErrs = append(runErrs, err); return err }
+
+	// The victim's remote peer: echo every round trip from node 1.
+	victim, _ := q.Tenant("victim")
+	w.Spawn("victim-echo", func(p *sim.Proc) {
+		g := engines[1].Gate(0)
+		buf := make([]byte, cfg.RPCSize)
+		for it := 0; it < cfg.Iters; it++ {
+			if _, err := g.Recv(p, Tagged(100), buf); err != nil {
+				fail(fmt.Errorf("victim echo recv: %w", err))
+				return
+			}
+			if err := g.Isend(p, Tagged(101), buf).Wait(p); err != nil {
+				fail(fmt.Errorf("victim echo send: %w", err))
+				return
+			}
+		}
+	})
+	// Burst sinks on nodes 2 and 3 verify the flood byte for byte.
+	if cfg.BurstMsgs > 0 {
+		for _, sink := range []int{2, 3} {
+			sink := sink
+			w.Spawn(fmt.Sprintf("burst-sink-%d", sink), func(p *sim.Proc) {
+				g := engines[sink].Gate(0)
+				want := make([]byte, cfg.BurstSize)
+				for m := 0; m < cfg.BurstMsgs; m++ {
+					buf := make([]byte, cfg.BurstSize)
+					n, err := g.Recv(p, Tagged(sink), buf)
+					if err != nil {
+						fail(fmt.Errorf("burst sink %d: %w", sink, err))
+						return
+					}
+					for i := range want {
+						want[i] = byte(sink*31 + m*7 + i)
+					}
+					for i := 0; i < n; i++ {
+						if buf[i] != want[i] {
+							fail(fmt.Errorf("burst sink %d: corrupt byte %d of msg %d", sink, i, m))
+							return
+						}
+					}
+				}
+			})
+		}
+	}
+
+	w.At(0, func() {
+		if cfg.BurstMsgs > 0 {
+			job, err := q.Submit("burst", "incast", func(p *sim.Proc) error {
+				reqs := make([]core.Request, 0, 2*cfg.BurstMsgs)
+				for m := 0; m < cfg.BurstMsgs; m++ {
+					for _, sink := range []int{2, 3} {
+						buf := make([]byte, cfg.BurstSize)
+						for i := range buf {
+							buf[i] = byte(sink*31 + m*7 + i)
+						}
+						reqs = append(reqs, engines[0].Gate(simnet.NodeID(sink)).Isend(p, Tagged(sink), buf))
+					}
+				}
+				return core.WaitAll(p, reqs...)
+			})
+			if err != nil {
+				fail(err)
+				return
+			}
+			w.Spawn("burst-watch", func(p *sim.Proc) {
+				if err := job.Wait(p); err != nil {
+					fail(fmt.Errorf("burst job: %w", err))
+				}
+				res.BurstUs = p.Now().Microseconds()
+			})
+		}
+		job, err := q.Submit("victim", "pingpong", func(p *sim.Proc) error {
+			g := engines[0].Gate(1)
+			buf := make([]byte, cfg.RPCSize)
+			for it := 0; it < cfg.Iters; it++ {
+				for i := range buf {
+					buf[i] = byte(it*7 + i)
+				}
+				if err := g.Isend(p, Tagged(100), buf, victim.SendOptions()...).Wait(p); err != nil {
+					return fmt.Errorf("victim send: %w", err)
+				}
+				if _, err := g.Recv(p, Tagged(101), buf); err != nil {
+					return fmt.Errorf("victim recv: %w", err)
+				}
+				for i := range buf {
+					if buf[i] != byte(it*7+i) {
+						return fmt.Errorf("victim: corrupt byte %d of iter %d", i, it)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		w.Spawn("victim-watch", func(p *sim.Proc) {
+			if err := job.Wait(p); err != nil {
+				fail(fmt.Errorf("victim job: %w", err))
+			}
+			res.VictimUs = p.Now().Microseconds()
+		})
+	})
+
+	if err := w.Run(); err != nil {
+		return res, fmt.Errorf("bench: tenant isolation (%d burst msgs): %w", cfg.BurstMsgs, err)
+	}
+	if len(runErrs) > 0 {
+		return res, runErrs[0]
+	}
+	res.Stats = engines[0].Stats()
+	return res, nil
+}
+
+// FigTenantIsolation sweeps the burst intensity and plots the victim's
+// completion time against its unloaded baseline — the tenant-isolation
+// claim as a trend-gated figure.
+func FigTenantIsolation() (Figure, error) {
+	fig := Figure{
+		ID:     "tenant-isolation",
+		Title:  "Multi-tenant isolation — victim pingpong vs competing incast burst (MX, prio, job queue on node 0)",
+		XLabel: "burst messages per sink (4KB each, two sinks)",
+		YLabel: "completion (µs)",
+		Notes: []string{
+			"victim: 16 x 64B priority pingpong; acceptance: loaded within 2x unloaded while the burst completes",
+		},
+	}
+	base := TenantIsolationConfig{BurstSize: 4 << 10, Iters: 16, RPCSize: 64}
+	unloadedCfg := base
+	unloadedCfg.BurstMsgs = 0
+	unloaded, err := TenantIsolation(unloadedCfg)
+	if err != nil {
+		return fig, err
+	}
+	sweeps := []int{8, 32, 128}
+	loadedS := Series{Label: "victim[under-burst]", Strategy: "prio"}
+	baseS := Series{Label: "victim[unloaded]", Strategy: "prio"}
+	burstS := Series{Label: "burst[completion]", Strategy: "prio"}
+	for _, msgs := range sweeps {
+		cfg := base
+		cfg.BurstMsgs = msgs
+		r, err := TenantIsolation(cfg)
+		if err != nil {
+			return fig, err
+		}
+		loadedS.Points = append(loadedS.Points, Point{X: msgs, Y: r.VictimUs})
+		baseS.Points = append(baseS.Points, Point{X: msgs, Y: unloaded.VictimUs})
+		burstS.Points = append(burstS.Points, Point{X: msgs, Y: r.BurstUs})
+	}
+	fig.Series = []Series{loadedS, baseS, burstS}
+	return fig, nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import "nmad/internal/sim"
+
+// Job-queue accounting. The multi-tenant queue (internal/queue) lives
+// outside the engine but reports through it, so one Stats snapshot — and
+// one scenario assertion table — covers admission, dispatch, and the
+// communication work the jobs performed.
+
+// NoteJobAdmitted records a job accepted into the queue; depth is the
+// backlog size including the new job.
+func (e *Engine) NoteJobAdmitted(depth int) {
+	e.stats.JobsAdmitted++
+	if depth > e.stats.PeakQueueDepth {
+		e.stats.PeakQueueDepth = depth
+	}
+}
+
+// NoteJobRejected records a submission bounced off the capacity bound.
+func (e *Engine) NoteJobRejected() {
+	e.stats.JobsRejected++
+}
+
+// NoteJobDispatched records a job leaving the backlog for a worker after
+// waiting for the given span; aged marks a dispatch the tenant won only
+// through the aging boost.
+func (e *Engine) NoteJobDispatched(wait sim.Time, aged bool) {
+	e.stats.JobsDispatched++
+	if aged {
+		e.stats.JobsAged++
+	}
+	if wait > e.stats.PeakJobWait {
+		e.stats.PeakJobWait = wait
+	}
+}
+
+// NoteJobCompleted records a job's worker proc finishing.
+func (e *Engine) NoteJobCompleted() {
+	e.stats.JobsCompleted++
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"nmad/internal/sim"
+	"nmad/internal/trace"
+)
+
+// Regression for the prio strategy's starvation pair: a priority wrapper
+// whose wire size exceeds the aggregation budget (payload just under the
+// rendezvous threshold, so it never converts to rendezvous either) used
+// to wait behind every queued bulk train — the urgent scan aborted on
+// the misfit and the fallback elected full-size trains until the window
+// drained. The fix departs it alone as soon as the NIC frees. The tracer
+// Depart order is the observable: the priority payload must not be the
+// last departure.
+func TestPrioOversizedUrgentDepartsBeforeBulkDrains(t *testing.T) {
+	rec := trace.NewRecorder()
+	opts := DefaultOptions()
+	opts.Strategy = "prio"
+	opts.Tracer = rec
+	w, e0, e1 := testWorldMixed(t, opts, DefaultOptions())
+
+	const (
+		bulkMsgs = 16
+		bulkSize = 8 << 10
+		// Wire size 24+prioSize exceeds the 32K MX aggregation budget;
+		// the payload alone stays under the rendezvous threshold.
+		prioSize = 32<<10 - 16
+	)
+	w.Spawn("send", func(p *sim.Proc) {
+		for i := 0; i < bulkMsgs; i++ {
+			e0.Gate(1).Isend(p, 1, make([]byte, bulkSize))
+		}
+		e0.Gate(1).Isend(p, 99, make([]byte, prioSize), Priority())
+	})
+	w.Spawn("recv", func(p *sim.Proc) {
+		reqs := make([]Request, 0, bulkMsgs+1)
+		for i := 0; i < bulkMsgs; i++ {
+			reqs = append(reqs, e1.Gate(0).Irecv(p, 1, make([]byte, bulkSize)))
+		}
+		reqs = append(reqs, e1.Gate(0).Irecv(p, 99, make([]byte, prioSize)))
+		if err := WaitAll(p, reqs...); err != nil {
+			t.Error(err)
+		}
+	})
+	run(t, w)
+
+	departs := rec.Filter(trace.Depart)
+	prioAt := -1
+	for i, ev := range departs {
+		if ev.Entries == 1 && ev.Bytes == prioSize {
+			prioAt = i
+			break
+		}
+	}
+	if prioAt < 0 {
+		t.Fatalf("no lone departure of the %dB priority payload in %d departs", prioSize, len(departs))
+	}
+	if prioAt == len(departs)-1 {
+		t.Fatalf("priority payload departed last (%d of %d): it starved behind the bulk stream",
+			prioAt+1, len(departs))
+	}
+	// It should in fact leave almost immediately — within the first few
+	// trains, not merely "not last".
+	if prioAt > 3 {
+		t.Errorf("priority payload departed %dth of %d; want within the first 4", prioAt+1, len(departs))
+	}
+}

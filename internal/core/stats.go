@@ -1,5 +1,7 @@
 package core
 
+import "nmad/internal/sim"
+
 // Stats counts what the optimizer did. The aggregation and piggyback
 // counters are the observable evidence of the paper's claims: packets
 // from different logical flows sharing physical packets, and rendezvous
@@ -77,6 +79,20 @@ type Stats struct {
 	FailedRails    int
 	RecoveredRails int
 	AbandonedRails int
+	// Multi-tenant job queue counters (internal/queue reports through
+	// the engine it dispatches onto). JobsAdmitted / JobsRejected split
+	// submissions at the admission bound; JobsDispatched / JobsCompleted
+	// track the worker side; JobsAged counts dispatches whose tenant won
+	// only through the aging boost (the starvation-avoidance mechanism
+	// firing); PeakQueueDepth is the deepest backlog observed and
+	// PeakJobWait the longest any job sat queued before dispatch.
+	JobsAdmitted   int
+	JobsRejected   int
+	JobsDispatched int
+	JobsCompleted  int
+	JobsAged       int
+	PeakQueueDepth int
+	PeakJobWait    sim.Time
 	// ProtocolErrors counts receive-path protocol anomalies (corrupt
 	// trains, duplicate wrappers, unknown rendezvous ids, ...) that were
 	// dropped and counted instead of crashing the node. Per-gate

@@ -53,6 +53,13 @@ var statsFields = map[string]func(core.Stats) float64{
 	"recovered_rails":        func(s core.Stats) float64 { return float64(s.RecoveredRails) },
 	"abandoned_rails":        func(s core.Stats) float64 { return float64(s.AbandonedRails) },
 	"protocol_errors":        func(s core.Stats) float64 { return float64(s.ProtocolErrors) },
+	"jobs_admitted":          func(s core.Stats) float64 { return float64(s.JobsAdmitted) },
+	"jobs_rejected":          func(s core.Stats) float64 { return float64(s.JobsRejected) },
+	"jobs_dispatched":        func(s core.Stats) float64 { return float64(s.JobsDispatched) },
+	"jobs_completed":         func(s core.Stats) float64 { return float64(s.JobsCompleted) },
+	"jobs_aged":              func(s core.Stats) float64 { return float64(s.JobsAged) },
+	"peak_queue_depth":       func(s core.Stats) float64 { return float64(s.PeakQueueDepth) },
+	"peak_job_wait":          func(s core.Stats) float64 { return float64(s.PeakJobWait) },
 	"aggregation_ratio":      func(s core.Stats) float64 { return s.AggregationRatio() },
 }
 

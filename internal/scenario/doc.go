@@ -3,7 +3,9 @@
 // workload phases, mid-run interventions, and assertions — and runs it
 // on the simulated optimizer, reporting which assertions held.
 //
-// A scenario file has five sections:
+// A scenario file has up to seven sections — name, description,
+// cluster, tenants (with its queue sibling), phases, events and
+// assertions:
 //
 //	name: midrun-failover
 //	description: traffic survives a rail outage at 1% drop
@@ -49,6 +51,29 @@
 // assertion. Phases are declared in strictly increasing start order but
 // may overlap in flight — that is how bursty multi-phase scenarios are
 // built.
+//
+// A top-level tenants list declares multi-tenant workloads:
+//
+//	tenants:
+//	  - name: interactive
+//	    weight: 4
+//	    class: latency             # bulk | normal | latency
+//	  - name: batch                # weight defaults to 1, class to normal
+//	queue:                         # optional; defaults apply when absent
+//	  node: 0                      # which node hosts the queue
+//	  capacity: 8
+//	  workers: 1
+//	  aging: 2ms
+//
+// When a tenants list is present, every phase tagged `tenant: <name>`
+// is submitted through a job queue (package queue) on the chosen node
+// instead of spawning at its start time: its `at` becomes the submit
+// instant, and dispatch order follows the tenants' weighted fair
+// share, classes and aging. The queue's counters (jobs_admitted,
+// jobs_rejected, jobs_dispatched, jobs_completed, jobs_aged,
+// peak_queue_depth, peak_job_wait) land in core.Stats and are
+// assertable like any other field. Without a tenants list, `tenant`
+// stays a report-only label.
 //
 // Event actions: degrade_rail / restore_rail (wire-speed scaling),
 // set_faults (new drop/dup/reorder probabilities, preserving the seeded

@@ -82,6 +82,8 @@ func (r *Runner) startPhase(pr *phaseRun) {
 		r.world.Spawn(fmt.Sprintf("%s/%s@%d", p.Name, nproc, rank), func(q *sim.Proc) {
 			pr.integrity += body(q)
 			pr.finishOne(q.Now())
+			// Wake queued-phase jobs blocked on their phase closing.
+			r.phaseCond.Broadcast()
 		})
 	}
 

@@ -10,6 +10,7 @@ import (
 
 	"nmad/internal/core"
 	"nmad/internal/madmpi"
+	"nmad/internal/queue"
 	"nmad/internal/sim"
 	"nmad/internal/simnet"
 	"nmad/internal/trace"
@@ -128,6 +129,11 @@ type Runner struct {
 	railCfg   []simnet.RailFaults
 	snapshots map[string]*Snapshot
 	procErrs  []string
+	// queue is the multi-tenant job queue (nil unless the scenario
+	// declares tenants); phaseCond wakes queued-phase jobs whenever any
+	// phase process finishes, so a job can block until its phase closes.
+	queue     *queue.Queue
+	phaseCond *sim.Cond
 }
 
 func (r *Runner) nodes() int { return r.fabric.Nodes() }
@@ -206,6 +212,28 @@ func Run(sc *Scenario, cfg Config) (*Report, error) {
 		}
 		r.mpis = append(r.mpis, m)
 	}
+	r.phaseCond = sim.NewCond(w)
+	if len(sc.Tenants) > 0 {
+		qnode := 0
+		var qcfg queue.Config
+		if sc.Queue != nil {
+			qnode = sc.Queue.Node
+			qcfg.Capacity = sc.Queue.Capacity
+			qcfg.Workers = sc.Queue.Workers
+			qcfg.Aging = sc.Queue.Aging
+		}
+		for _, t := range sc.Tenants {
+			cls, _ := queue.ClassByName(t.Class) // Validate vetted the name
+			qcfg.Tenants = append(qcfg.Tenants, queue.TenantSpec{
+				Name: t.Name, Weight: t.Weight, Class: cls,
+			})
+		}
+		q, err := queue.New(r.mpis[qnode].Engine(), qcfg)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: queue: %w", sc.Name, err)
+		}
+		r.queue = q
+	}
 	if cfg.Record != nil {
 		cfg.Record.SetMeta("scenario", sc.Name)
 		seed := uint64(0)
@@ -229,10 +257,30 @@ func Run(sc *Scenario, cfg Config) (*Report, error) {
 	}
 
 	// The timeline: phases at their start instants, events at theirs.
+	// Tenant-tagged phases on a multi-tenant run are submitted to the
+	// queue at their instant instead; fair-share dispatch decides when
+	// each actually starts. The job holds its worker slot until the
+	// phase's last process finishes, so the queue's worker bound caps
+	// concurrently running tenant phases.
 	for _, p := range sc.Phases {
 		pr := &phaseRun{spec: p}
 		r.phases = append(r.phases, pr)
 		w.At(p.At, func() {
+			if r.queue != nil && pr.spec.Tenant != "" {
+				r.logf("%v: phase %s (%s) submitted for tenant %s", w.Now(), pr.spec.Name, pr.spec.Kind, pr.spec.Tenant)
+				_, err := r.queue.Submit(pr.spec.Tenant, pr.spec.Name, func(q *sim.Proc) error {
+					r.logf("%v: phase %s (%s) dispatched", q.Now(), pr.spec.Name, pr.spec.Kind)
+					r.startPhase(pr)
+					for !pr.done {
+						r.phaseCond.Wait(q)
+					}
+					return nil
+				})
+				if err != nil {
+					r.procErr(pr.spec.Name, err)
+				}
+				return
+			}
 			r.logf("%v: phase %s (%s) starts", w.Now(), pr.spec.Name, pr.spec.Kind)
 			r.startPhase(pr)
 		})

@@ -11,11 +11,13 @@ import (
 )
 
 // The scenario schema: a declarative description of one cluster workload
-// experiment. A file has up to five top-level sections —
+// experiment. A file has up to seven top-level sections —
 //
 //	name:        incast-burst            # required, unique in a corpus
 //	description: what this scenario shows
 //	cluster:     the machine and the engine personality
+//	tenants:     multi-tenant job-queue tenants (weight + priority class)
+//	queue:       job-queue sizing (node, capacity, workers, aging)
 //	phases:      the workload timeline (what traffic, when)
 //	events:      mid-run interventions (degrade a rail, slow a node, ...)
 //	assertions:  what must hold, at named checkpoints or at the end
@@ -27,9 +29,32 @@ type Scenario struct {
 	Name        string
 	Description string
 	Cluster     ClusterSpec
+	Tenants     []TenantSpec
+	Queue       *QueueSpec
 	Phases      []PhaseSpec
 	Events      []EventSpec
 	Assertions  []AssertSpec
+}
+
+// TenantSpec declares one tenant of the multi-tenant job queue. When a
+// scenario declares tenants, phases tagged with a tenant are submitted
+// as queue jobs instead of starting unconditionally at their instant:
+// the queue's fair-share dispatch decides when each runs.
+type TenantSpec struct {
+	// Name is the tenant id phases reference. Weight is the fair-share
+	// weight (>= 1); Class one of bulk, normal, latency.
+	Name   string
+	Weight int
+	Class  string
+}
+
+// QueueSpec sizes the job queue and places it on a node. Zero fields
+// keep the queue package defaults.
+type QueueSpec struct {
+	Node     int
+	Capacity int
+	Workers  int
+	Aging    sim.Time
 }
 
 // ClusterSpec declares the machine and the per-node engine personality.
@@ -115,8 +140,11 @@ type PhaseSpec struct {
 	Name string
 	Kind string
 	At   sim.Time
-	// Tenant tags the phase's traffic in the report (multi-tenant
-	// corpora group completion lines by it; empty is fine).
+	// Tenant tags the phase's traffic in the report, and — when the
+	// scenario declares a tenants block — submits the phase to the job
+	// queue at its instant instead of starting it unconditionally: the
+	// phase then runs when the queue's fair-share dispatch grants its
+	// tenant a worker. Empty is fine (the phase starts at At as usual).
 	Tenant string
 	// Nodes are the participants: the [a, b] pair of a pingpong or
 	// composite, the ring members in ring order, empty = every node
@@ -252,10 +280,33 @@ func Parse(src []byte) (*Scenario, error) {
 	}
 	d := &decoder{}
 	sc := &Scenario{}
-	d.strictKeys("", root, "name", "description", "cluster", "phases", "events", "assertions")
+	d.strictKeys("", root, "name", "description", "cluster", "tenants", "queue", "phases", "events", "assertions")
 	sc.Name = d.str(root, "name", "")
 	sc.Description = d.str(root, "description", "")
 	sc.Cluster = d.cluster(d.child(root, "cluster"))
+	for i, item := range d.list(root, "tenants") {
+		path := fmt.Sprintf("tenants[%d]", i)
+		m, ok := item.(map[string]any)
+		if !ok {
+			d.failf(ErrSchema, "%s: expected a mapping", path)
+			continue
+		}
+		d.strictKeys(path, m, "name", "weight", "class")
+		sc.Tenants = append(sc.Tenants, TenantSpec{
+			Name:   d.str(m, "name", ""),
+			Weight: d.integer(m, "weight", 1),
+			Class:  d.str(m, "class", "normal"),
+		})
+	}
+	if qm := d.child(root, "queue"); qm != nil {
+		d.strictKeys("queue", qm, "node", "capacity", "workers", "aging")
+		sc.Queue = &QueueSpec{
+			Node:     d.integer(qm, "node", 0),
+			Capacity: d.integer(qm, "capacity", 0),
+			Workers:  d.integer(qm, "workers", 0),
+			Aging:    d.duration(qm, "aging", 0),
+		}
+	}
 	for i, item := range d.list(root, "phases") {
 		p := d.phase(fmt.Sprintf("phases[%d]", i), item)
 		p.index = i

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"nmad/internal/queue"
 	"nmad/internal/simnet"
 	"nmad/sched"
 )
@@ -94,6 +95,32 @@ func Validate(sc *Scenario) []error {
 		}
 	}
 
+	tenants := map[string]int{}
+	for i, t := range sc.Tenants {
+		path := fmt.Sprintf("tenants[%d] (%s)", i, t.Name)
+		if t.Name == "" {
+			bad(ErrBadValue, "%s: a tenant needs a name", path)
+		} else if prev, dup := tenants[t.Name]; dup {
+			bad(ErrBadValue, "%s: name already used by tenants[%d]", path, prev)
+		}
+		tenants[t.Name] = i
+		if t.Weight < 1 {
+			bad(ErrBadValue, "%s: weight must be >= 1, got %d", path, t.Weight)
+		}
+		if _, ok := queue.ClassByName(t.Class); !ok {
+			bad(ErrBadValue, "%s: unknown class %q (known: bulk, normal, latency)", path, t.Class)
+		}
+	}
+	if sc.Queue != nil {
+		if len(sc.Tenants) == 0 {
+			bad(ErrBadValue, "queue: a queue block needs a tenants block to serve")
+		}
+		node("queue.node", sc.Queue.Node)
+		if sc.Queue.Capacity < 0 || sc.Queue.Workers < 0 {
+			bad(ErrBadValue, "queue: capacity and workers must be >= 0")
+		}
+	}
+
 	if len(sc.Phases) == 0 {
 		bad(ErrBadValue, "phases: a scenario needs at least one phase")
 	}
@@ -114,6 +141,14 @@ func Validate(sc *Scenario) []error {
 		}
 		if p.Size < 0 || p.Msgs < 0 || p.Count < 1 {
 			bad(ErrBadValue, "%s: size/msgs must be >= 0 and count >= 1", path)
+		}
+		// Without a tenants block the tenant key is a free-form report
+		// label; with one, it routes the phase through the job queue and
+		// must resolve.
+		if len(sc.Tenants) > 0 && p.Tenant != "" {
+			if _, ok := tenants[p.Tenant]; !ok {
+				bad(ErrBadTarget, "%s: no tenant named %q", path, p.Tenant)
+			}
 		}
 		switch p.Kind {
 		case PhasePingPong:

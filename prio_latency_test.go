@@ -1,0 +1,123 @@
+package nmad_test
+
+import (
+	"testing"
+
+	"nmad"
+)
+
+// Property: under sustained mixed-tenant bulk load, a Priority() send's
+// submit-to-completion latency stays within a fixed virtual-time bound
+// on every built-in strategy. This pins the prio strategy's starvation
+// fixes (skip-and-continue, lone oversized departure, capped fallback)
+// and the queue tentpole's isolation claim: no strategy may let a
+// priority wrapper wait out the whole bulk backlog that keeps arriving
+// after it.
+func TestPriorityLatencyBoundedAcrossStrategies(t *testing.T) {
+	const (
+		waves     = 20
+		perWave   = 4
+		bulkSize  = 4 << 10
+		waveGap   = nmad.Time(4_000) // 4µs: 16KB/wave feeds ~3x the wire rate
+		submitAt  = 10               // wave after which the priority sends go in
+		smallPrio = 64
+		// Wire size over the 32K MX aggregation budget, payload under the
+		// rendezvous threshold: the shape that used to starve under prio.
+		bigPrio = 32<<10 - 16
+		// The fixed bound. Strategies without an urgent fast path still
+		// satisfy it because bulk arriving after the priority submit can
+		// never leapfrog it — only the backlog already ahead (~100KB of
+		// wire, ~80µs) must drain. A latency past this bound means the
+		// strategy let later bulk starve the priority wrapper; draining
+		// the whole 320KB stream first would show up as ~260µs+.
+		bound = nmad.Time(150_000)
+	)
+	for _, strat := range []string{"default", "aggreg", "split", "prio", "adaptive"} {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			cl, err := nmad.NewCluster(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e0, err := cl.Engine(0, nmad.WithStrategy(strat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e1, err := cl.Engine(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			type stamped struct {
+				name   string
+				submit nmad.Time
+				req    *nmad.SendRequest
+			}
+			var prios []*stamped
+			cl.Spawn("bulk-feed", func(p *nmad.Proc) {
+				var reqs []nmad.Request
+				for wv := 0; wv < waves; wv++ {
+					for m := 0; m < perWave; m++ {
+						tag := nmad.Tag(1 + m%2) // two bulk tenants
+						reqs = append(reqs, e0.Gate(1).Isend(p, tag, make([]byte, bulkSize)))
+					}
+					if wv == submitAt {
+						for _, pr := range []struct {
+							name string
+							size int
+							tag  nmad.Tag
+						}{{"small", smallPrio, 90}, {"oversized", bigPrio, 91}} {
+							s := &stamped{name: pr.name, submit: p.Now()}
+							s.req = e0.Gate(1).Isend(p, pr.tag, make([]byte, pr.size), nmad.Priority())
+							prios = append(prios, s)
+						}
+					}
+					p.Sleep(waveGap)
+				}
+				if err := nmad.WaitAll(p, reqs...); err != nil {
+					t.Error(err)
+				}
+			})
+			done := map[string]nmad.Time{}
+			cl.Spawn("prio-watch", func(p *nmad.Proc) {
+				// Let the feeder reach the submit wave first.
+				for len(prios) < 2 {
+					p.Sleep(waveGap)
+				}
+				for _, s := range prios {
+					if err := s.req.Wait(p); err != nil {
+						t.Errorf("%s priority send: %v", s.name, err)
+					}
+					done[s.name] = p.Now() - s.submit
+				}
+			})
+			cl.Spawn("drain", func(p *nmad.Proc) {
+				var reqs []nmad.Request
+				for wv := 0; wv < waves; wv++ {
+					for m := 0; m < perWave; m++ {
+						tag := nmad.Tag(1 + m%2)
+						reqs = append(reqs, e1.Gate(0).Irecv(p, tag, make([]byte, bulkSize)))
+					}
+				}
+				reqs = append(reqs,
+					e1.Gate(0).Irecv(p, 90, make([]byte, smallPrio)),
+					e1.Gate(0).Irecv(p, 91, make([]byte, bigPrio)))
+				if err := nmad.WaitAll(p, reqs...); err != nil {
+					t.Error(err)
+				}
+			})
+			if err := cl.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, name := range []string{"small", "oversized"} {
+				lat, ok := done[name]
+				if !ok {
+					t.Fatalf("%s priority send never completed", name)
+				}
+				t.Logf("%s: %s priority latency %v", strat, name, lat)
+				if lat > bound {
+					t.Errorf("%s priority send took %v, bound %v: starved behind bulk", name, lat, bound)
+				}
+			}
+		})
+	}
+}

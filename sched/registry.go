@@ -70,6 +70,6 @@ func init() {
 	mustRegister("default", func() Strategy { return defaultStrategy{} })
 	mustRegister("aggreg", func() Strategy { return aggregStrategy{} })
 	mustRegister("split", func() Strategy { return splitStrategy{} })
-	mustRegister("prio", func() Strategy { return prioStrategy{} })
+	mustRegister("prio", func() Strategy { return new(prioStrategy) })
 	mustRegister("adaptive", func() Strategy { return newAdaptive() })
 }

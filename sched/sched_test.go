@@ -167,14 +167,102 @@ func TestPrioPreemptsBulk(t *testing.T) {
 	bulk := mkw(8<<10, 1, 0)
 	urgent := mkw(16, 1, Priority)
 	bulk.Tag, urgent.Tag = 1, 2
-	el := prioStrategy{}.Elect(fakeWindow{ws: []Wrapper{bulk, urgent}}, rail)
+	el := new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{bulk, urgent}}, rail)
 	if got := tags(el); len(got) != 1 || got[0] != 2 {
 		t.Fatalf("elected %v, want the urgent wrapper alone", got)
 	}
 	// Without urgent traffic it degrades to aggregation.
-	el = prioStrategy{}.Elect(fakeWindow{ws: []Wrapper{bulk}}, rail)
+	el = new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{bulk}}, rail)
 	if got := tags(el); len(got) != 1 || got[0] != 1 {
 		t.Fatalf("elected %v, want [1]", got)
+	}
+}
+
+func TestPrioSkipsUnfitUrgentAcrossFlows(t *testing.T) {
+	// Regression: one oversized urgent wrapper used to abort the whole
+	// urgent scan, so fittable urgent wrappers on other flows fell
+	// through to the aggregation fallback and departed mixed with bulk.
+	rail := testRail(16, 16<<10, 1e9, 0)
+	huge := mkw(16<<10-10, 1, Priority) // wire size 24+16374 > the 16K budget
+	small := mkw(16, 1, Priority)
+	bulk := mkw(8<<10, 1, 0)
+	huge.Tag, small.Tag, bulk.Tag = 1, 2, 3
+	el := new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{huge, small, bulk}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("elected %v, want the fitting urgent wrapper [2] alone", got)
+	}
+}
+
+func TestPrioHoldsOrderedFlowBehindUnfitHead(t *testing.T) {
+	// Skip-and-continue must not leapfrog within one ordered flow: a
+	// later urgent wrapper on the blocked tag would only sit in the
+	// receiver's resequencing buffer behind the hole. Other flows stay
+	// eligible.
+	rail := testRail(16, 16<<10, 1e9, 0)
+	head := mkw(16<<10-10, 1, Priority)
+	next := mkw(16, 1, Priority)
+	other := mkw(16, 1, Priority)
+	head.Tag, head.Seq = 7, 0
+	next.Tag, next.Seq = 7, 1
+	other.Tag = 9
+	el := new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{head, next, other}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 9 {
+		t.Fatalf("elected %v, want only the other flow [9]", got)
+	}
+	// An unordered urgent wrapper on the blocked tag has no sequence and
+	// stays eligible.
+	ctrl := mkw(0, 0, Priority|Unordered)
+	ctrl.Tag = 7
+	el = new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{head, ctrl}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("elected %v, want the unordered control wrapper", got)
+	}
+}
+
+func TestPrioLoneUnfitUrgentStillDeparts(t *testing.T) {
+	// A wrapper whose wire size exceeds the aggregation budget but whose
+	// payload stays under the rendezvous threshold never converts to
+	// rendezvous and never fits an election — it must go out alone
+	// instead of starving behind a perpetually refilled bulk stream.
+	rail := testRail(16, 16<<10, 1e9, 0)
+	huge := mkw(16<<10-10, 1, Priority)
+	bulk := mkw(8<<10, 1, 0)
+	huge.Tag, bulk.Tag = 1, 3
+	el := new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{huge, bulk}}, rail)
+	if got := tags(el); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("elected %v, want the oversized urgent wrapper [1] alone", got)
+	}
+}
+
+func TestPrioCapsFallbackWhileUrgentPending(t *testing.T) {
+	// Regression: with urgent traffic pending but ungatherable on this
+	// rail, the fallback used to build full-size bulk trains — priority
+	// inversion. The capped fallback keeps bulk moving in short trains.
+	rail := testRail(8, 16<<10, 1e9, 0)
+	wide := mkw(100, 15, Priority) // 16 segments on an 8-segment rail
+	wide.Tag = 1
+	ws := []Wrapper{wide}
+	for i := 0; i < 6; i++ {
+		b := mkw(1<<10, 1, 0)
+		b.Tag = uint64(10 + i)
+		ws = append(ws, b)
+	}
+	el := new(prioStrategy).Elect(fakeWindow{ws: ws}, rail)
+	if el.Empty() {
+		t.Fatal("bulk must keep flowing while the urgent wrapper waits for a wider rail")
+	}
+	for _, w := range el.Wrappers() {
+		if w.Urgent() {
+			t.Fatalf("elected %v: the ungatherable urgent wrapper must stay behind", tags(el))
+		}
+	}
+	if cap := (16 << 10) / 4; el.WireSize() > cap {
+		t.Errorf("fallback train carries %dB of wire, want <= the %dB headroom cap", el.WireSize(), cap)
+	}
+	// Without urgent traffic the fallback budget is the full threshold.
+	full := new(prioStrategy).Elect(fakeWindow{ws: ws[1:]}, rail)
+	if full.WireSize() <= el.WireSize() {
+		t.Errorf("unconstrained fallback (%dB) should out-aggregate the capped one (%dB)", full.WireSize(), el.WireSize())
 	}
 }
 
@@ -226,7 +314,7 @@ func TestSplitPlanProportional(t *testing.T) {
 }
 
 func TestChainFallback(t *testing.T) {
-	c := Chain("", prioStrategy{}, defaultStrategy{})
+	c := Chain("", new(prioStrategy), defaultStrategy{})
 	if c.Name() != "prio+default" {
 		t.Errorf("derived name %q", c.Name())
 	}
@@ -247,7 +335,7 @@ func TestChainFallback(t *testing.T) {
 	if len(plan) != 1 || plan[0].Size != 1<<20 {
 		t.Errorf("plannerless chain plan %v", plan)
 	}
-	c2 := Chain("x", prioStrategy{}, splitStrategy{})
+	c2 := Chain("x", new(prioStrategy), splitStrategy{})
 	fast, slow := testRail(16, 32<<10, 2e9, 0), testRail(16, 32<<10, 2e9, 0)
 	fast.Index, slow.Index = 0, 1
 	plan = c2.(BodyPlanner).PlanBody([]RailInfo{fast, slow}, 4<<20)
@@ -286,7 +374,7 @@ func TestAccumulateZeroThresholdStillAggregates(t *testing.T) {
 	bulk := mkw(8<<10, 1, 0)
 	urgent := mkw(16, 1, Priority)
 	bulk.Tag, urgent.Tag = 1, 42
-	el := prioStrategy{}.Elect(fakeWindow{ws: []Wrapper{bulk, urgent}}, rail)
+	el := new(prioStrategy).Elect(fakeWindow{ws: []Wrapper{bulk, urgent}}, rail)
 	if got := tags(el); len(got) != 1 || got[0] != 42 {
 		t.Errorf("prio on a RdvThreshold=0 rail elected %v, want the urgent wrapper alone", got)
 	}

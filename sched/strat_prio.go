@@ -8,24 +8,124 @@ package sched
 // else, so no bulk payload delays them on the wire.
 type prioStrategy struct {
 	fallback aggregStrategy
+	// hot counts down elections since urgent traffic was last sighted.
+	// While hot, bulk-only elections keep the capped budget: a priority
+	// flow that is momentarily absent from the window (an RPC waiting
+	// for its reply) would otherwise find a full-size train mid-wire on
+	// every send. Per-engine state — each engine constructs its own
+	// strategy instance through the registry.
+	hot int
 }
 
-func (prioStrategy) Name() string { return "prio" }
+func (*prioStrategy) Name() string { return "prio" }
 
-func (s prioStrategy) Elect(w Window, rail RailInfo) *Election {
+// prioBlockedFlows bounds the per-election stack space spent remembering
+// flows whose head urgent wrapper did not fit. More blocked flows than
+// this in one election is pathological; the overflow path just stops
+// electing further ordered urgent wrappers this round (they stay in the
+// window and go out on a later election).
+const prioBlockedFlows = 8
+
+// prioFallbackDivisor shrinks the fallback aggregation budget while
+// urgent traffic is pending: bulk still flows, but in short trains, so
+// the wire frees up quickly for the urgent wrapper once it becomes
+// sendable (a wider rail, a drained election).
+const prioFallbackDivisor = 4
+
+// prioHotElections is the hysteresis span: how many bulk-only elections
+// after an urgent sighting keep the capped budget before trains grow
+// back to full size.
+const prioHotElections = 4
+
+// cappedLimit is the headroom aggregation budget (0 stays unlimited).
+func cappedLimit(rail RailInfo) int {
+	limit := rail.Caps.RdvThreshold
+	if limit > 0 {
+		limit = max(limit/prioFallbackDivisor, 1)
+	}
+	return limit
+}
+
+func (s *prioStrategy) Elect(w Window, rail RailInfo) *Election {
+	maxSegs := rail.Caps.MaxSegments
 	el := new(Election)
+	// Flows whose head urgent wrapper did not fit: later ORDERED urgent
+	// wrappers on these tags must not leapfrog it — they would only sit
+	// in the receiver's resequencing buffer behind the hole. Unordered
+	// urgent wrappers (control traffic) carry no sequence and stay
+	// eligible.
+	var blocked [prioBlockedFlows]uint64
+	nblocked := 0
+	overflow := false
+	// The first urgent misfit this rail could at least gather: the
+	// lone-departure candidate. A wrapper whose wire size exceeds the
+	// aggregation budget but whose payload stays under the rendezvous
+	// threshold is never converted to rendezvous and never fits an
+	// election with company — without this clause it starves for as long
+	// as bulk keeps the window non-empty.
+	var stuck Wrapper
+	stuckOK := false
+	urgentBlocked := false
+
 	w.Scan(func(pw Wrapper) bool {
 		if !pw.Urgent() {
 			return true
 		}
+		ordered := !pw.Flags.Has(Unordered)
+		if ordered {
+			if overflow {
+				return true
+			}
+			for i := 0; i < nblocked; i++ {
+				if blocked[i] == pw.Tag {
+					return true // held behind an unfit same-flow predecessor
+				}
+			}
+		}
 		if !el.Fits(pw, rail) {
-			return false
+			urgentBlocked = true
+			if !stuckOK && pw.Segments <= maxSegs {
+				stuck, stuckOK = pw, true
+			}
+			if ordered {
+				if nblocked < len(blocked) {
+					blocked[nblocked] = pw.Tag
+					nblocked++
+				} else {
+					overflow = true
+				}
+			}
+			return true // skip and continue: other flows may still fit
 		}
 		el.Pick(pw)
-		return true
+		return el.Segments() < maxSegs
 	})
 	if !el.Empty() {
+		s.hot = prioHotElections
 		return el
+	}
+	if urgentBlocked {
+		s.hot = prioHotElections
+		if stuckOK {
+			// Nothing urgent fits together, and this one never will:
+			// progress beats budget — it departs alone. (The scan saw an
+			// empty election throughout, so the misfit is intrinsic, not
+			// crowding.)
+			return el.Pick(stuck)
+		}
+		// Urgent traffic is pending but this rail cannot gather any of it
+		// (segment-blocked; a wider rail will take it). Keep bulk moving,
+		// but with headroom: a full-size aggregation train would delay
+		// the urgent wrapper's departure further — the priority inversion
+		// this strategy exists to avoid.
+		return accumulate(w, rail, cappedLimit(rail))
+	}
+	if s.hot > 0 {
+		// Urgent traffic was here a few elections ago and its flow is
+		// likely mid-round-trip; keep the headroom so its next wrapper
+		// does not land behind a freshly launched full-size train.
+		s.hot--
+		return accumulate(w, rail, cappedLimit(rail))
 	}
 	return s.fallback.Elect(w, rail)
 }
